@@ -1,0 +1,146 @@
+package amjs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amjs"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way a
+// downstream user would.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := amjs.MiniWorkload(3)
+	cfg.MaxJobs = 60
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schedulers := []amjs.Scheduler{
+		amjs.NewFCFS(), amjs.NewSJF(), amjs.NewLJF(), amjs.NewEASY(),
+		amjs.NewConservative(), amjs.NewWFP(), amjs.NewDynP(),
+		amjs.NewMetricAware(0.5, 3),
+		amjs.NewTuner(amjs.BFScheme(500), amjs.WScheme()),
+	}
+	for _, s := range schedulers {
+		res, err := amjs.Run(amjs.SimConfig{
+			Machine:   amjs.NewPartitionMachine(8, 64),
+			Scheduler: s,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Errorf("%s: %d of %d jobs completed", s.Name(), len(res.Jobs), len(jobs))
+		}
+	}
+}
+
+func TestFacadeSWFRoundTrip(t *testing.T) {
+	jobs, skipped, err := amjs.ReadSWF(strings.NewReader(amjs.SampleSWF), amjs.SWFOptions{})
+	if err != nil || skipped != 0 || len(jobs) != 10 {
+		t.Fatalf("ReadSWF: %d jobs, %d skipped, %v", len(jobs), skipped, err)
+	}
+	var buf bytes.Buffer
+	if err := amjs.WriteSWF(&buf, jobs, "facade"); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := amjs.ReadSWF(&buf, amjs.SWFOptions{})
+	if err != nil || len(back) != 10 {
+		t.Fatalf("round trip: %d jobs, %v", len(back), err)
+	}
+	stats := amjs.AnalyzeWorkload(jobs, 512)
+	if stats.Jobs != 10 || stats.OfferedLoad <= 0 {
+		t.Errorf("AnalyzeWorkload: %+v", stats)
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	if amjs.NewIntrepidMachine().TotalNodes() != 40960 {
+		t.Error("Intrepid size wrong")
+	}
+	if amjs.NewFlatMachine(128).TotalNodes() != 128 {
+		t.Error("flat size wrong")
+	}
+	if amjs.NewPartitionMachine(4, 32).TotalNodes() != 128 {
+		t.Error("partition size wrong")
+	}
+	if amjs.Hour != 3600*amjs.Second || amjs.Day != 24*amjs.Hour {
+		t.Error("duration constants wrong")
+	}
+}
+
+func TestFacadeExtendedSurface(t *testing.T) {
+	cfg := amjs.MiniWorkload(5)
+	cfg.MaxJobs = 40
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torus machines and the extended scheduler set.
+	for _, m := range []amjs.Machine{
+		amjs.NewTorusMachine(2, 2, 2, 64),
+		amjs.NewIntrepidTorusMachine(),
+	} {
+		if m.TotalNodes() <= 0 {
+			t.Fatalf("bad torus machine %s", m.Name())
+		}
+	}
+	for _, s := range []amjs.Scheduler{
+		amjs.NewRelaxed(10 * amjs.Minute),
+		amjs.NewFairShare(12 * amjs.Hour),
+		amjs.NewMultiMetric(2, amjs.WaitScorer(0.5), amjs.LargeJobScorer(0.25), amjs.ShortJobScorer(0.25)),
+		amjs.NewTuner(amjs.BFScheme(500)),
+	} {
+		res, err := amjs.Run(amjs.SimConfig{
+			Machine:   amjs.NewTorusMachine(2, 2, 2, 64),
+			Scheduler: s,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Errorf("%s: incomplete", s.Name())
+		}
+	}
+
+	// Walltime prediction.
+	p := amjs.NewWalltimePredictor(10, 1.2)
+	adjusted := amjs.AdjustWalltimes(jobs, p)
+	if len(adjusted) != len(jobs) {
+		t.Fatal("AdjustWalltimes changed job count")
+	}
+
+	// Breakdown helpers over a finished run.
+	res, err := amjs.Run(amjs.SimConfig{
+		Machine:   amjs.NewPartitionMachine(8, 64),
+		Scheduler: amjs.NewEASY(),
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *amjs.Metrics = res.Metrics
+	if m.StartedCount() != len(jobs) {
+		t.Error("metrics alias broken")
+	}
+	bySize := amjs.WaitBySize(res.Jobs, 512)
+	byRun := amjs.WaitByRuntime(res.Jobs)
+	byUser := amjs.WaitByUser(res.Jobs, 3)
+	if len(bySize) == 0 || len(byRun) == 0 || len(byUser) == 0 {
+		t.Error("breakdowns empty")
+	}
+	if out := amjs.FormatBreakdown("t", bySize); !strings.Contains(out, "class") {
+		t.Error("FormatBreakdown broken")
+	}
+	var cs amjs.ClassStat = bySize[0]
+	if cs.Jobs <= 0 {
+		t.Error("ClassStat alias broken")
+	}
+	// Scorers usable directly.
+	if amjs.SmallJobScorer(1).Name != "small" || amjs.LowCostScorer(1).Name != "lowcost" {
+		t.Error("scorer constructors broken")
+	}
+}

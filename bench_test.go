@@ -1,0 +1,341 @@
+// Benchmarks regenerating the paper's tables and figures at reduced
+// scale, plus micro-benchmarks of the load-bearing primitives.
+//
+// BenchmarkScheduleIteration reproduces Table III directly: the cost of
+// one scheduling pass per window size on a congested machine. The
+// Fig3/Fig4/Fig5/Fig6/Table2 benchmarks each run the corresponding
+// experiment's simulations on a cut-down trace and report the headline
+// metric via b.ReportMetric, so `go test -bench` regenerates the shape
+// of every figure. Full-scale numbers come from cmd/amjs-experiments.
+package amjs_test
+
+import (
+	"testing"
+
+	"amjs"
+	"amjs/internal/core"
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sched/schedtest"
+	"amjs/internal/sim"
+	"amjs/internal/stats"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// benchJobs generates the standard benchmark trace: a few hundred jobs
+// on the 512-node mini machine.
+func benchJobs(b *testing.B, seed int64, n int) []*job.Job {
+	b.Helper()
+	cfg := workload.Mini(seed)
+	cfg.MaxJobs = n
+	jobs, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+func benchMachine() machine.Machine { return machine.NewPartition(8, 64) }
+
+// runSim runs one simulation inside a benchmark loop iteration.
+func runSim(b *testing.B, s sched.Scheduler, jobs []*job.Job, fairness bool) *sim.Result {
+	b.Helper()
+	res, err := sim.Run(sim.Config{Machine: benchMachine(), Scheduler: s, Fairness: fairness}, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkScheduleIteration is Table III: the wall time of a single
+// scheduling iteration per window size, on a congested state (machine
+// ~full, deep queue). The paper's claim is superlinear growth in W that
+// still fits far inside the ~10 s production scheduling period.
+func BenchmarkScheduleIteration(b *testing.B) {
+	jobs := benchJobs(b, 42, 300)
+	m := benchMachine()
+	// Fill the machine, then queue the next 48 jobs.
+	i := 0
+	for ; i < len(jobs) && m.BusyNodes() < m.TotalNodes()*8/10; i++ {
+		j := jobs[i]
+		m.TryStart(j.ID, j.Nodes, 0, j.Walltime)
+	}
+	var queue []*job.Job
+	for ; i < len(jobs) && len(queue) < 48; i++ {
+		j := jobs[i].Clone()
+		j.Submit = units.Time(len(queue))
+		j.State = job.Queued
+		queue = append(queue, j)
+	}
+	for _, w := range []int{1, 2, 3, 4, 5} {
+		b.Run(benchName("W", w), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				env := schedtest.New(m.Clone(), job.CloneAll(queue)...)
+				env.T = 10
+				core.NewMetricAware(0.5, w).Schedule(env)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + string(rune('0'+v))
+}
+
+// BenchmarkFig3 runs the metric-balancing sweep's corner points and
+// reports average wait (minutes), unfair count, and LoC (%).
+func BenchmarkFig3(b *testing.B) {
+	jobs := benchJobs(b, 42, 200)
+	for _, c := range []struct {
+		name string
+		bf   float64
+		w    int
+	}{
+		{"BF=1.00/W=1", 1, 1},
+		{"BF=0.50/W=1", 0.5, 1},
+		{"BF=0.00/W=1", 0, 1},
+		{"BF=1.00/W=5", 1, 5},
+		{"BF=0.50/W=5", 0.5, 5},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				res = runSim(b, core.NewMetricAware(c.bf, c.w), jobs, true)
+			}
+			m := res.Metrics
+			b.ReportMetric(m.AvgWaitMinutes(), "wait-min")
+			b.ReportMetric(float64(m.UnfairCount()), "unfair")
+			b.ReportMetric(m.LoC()*100, "loc-%")
+		})
+	}
+}
+
+// BenchmarkFig4 runs the queue-depth experiment: static balance factors
+// versus adaptive BF tuning; reports mean and max queue depth.
+func BenchmarkFig4(b *testing.B) {
+	jobs := benchJobs(b, 42, 250)
+	threshold := 500.0
+	for _, c := range []struct {
+		name string
+		s    func() sched.Scheduler
+	}{
+		{"BF=1.00", func() sched.Scheduler { return core.NewMetricAware(1, 1) }},
+		{"BF=0.75", func() sched.Scheduler { return core.NewMetricAware(0.75, 1) }},
+		{"BF=0.50", func() sched.Scheduler { return core.NewMetricAware(0.5, 1) }},
+		{"adaptive", func() sched.Scheduler { return core.NewTuner(core.PaperBFScheme(threshold)) }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				res = runSim(b, c.s(), jobs, false)
+			}
+			b.ReportMetric(stats.Mean(res.Metrics.QD.Values), "meanQD-min")
+			b.ReportMetric(res.Metrics.QD.MaxValue(), "maxQD-min")
+		})
+	}
+}
+
+// BenchmarkFig5 runs the utilization experiment: static W versus
+// adaptive window tuning; reports utilization and the stability of the
+// 10-hour rolling average (standard deviation — lower is the paper's
+// "stabilized" claim).
+func BenchmarkFig5(b *testing.B) {
+	jobs := benchJobs(b, 42, 250)
+	for _, c := range []struct {
+		name string
+		s    func() sched.Scheduler
+	}{
+		{"static-W1", func() sched.Scheduler { return core.NewMetricAware(1, 1) }},
+		{"adaptive-W", func() sched.Scheduler { return core.NewTuner(core.PaperWScheme()) }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				res = runSim(b, c.s(), jobs, false)
+			}
+			b.ReportMetric(res.Metrics.UtilAvg()*100, "util-%")
+			b.ReportMetric(100*stats.StdDev(res.Metrics.Util10H.Values), "stddev10H-%")
+			b.ReportMetric(res.Metrics.LoC()*100, "loc-%")
+		})
+	}
+}
+
+// BenchmarkFig6 runs two-dimensional tuning against the static base and
+// reports the combined metrics.
+func BenchmarkFig6(b *testing.B) {
+	jobs := benchJobs(b, 42, 250)
+	threshold := 500.0
+	for _, c := range []struct {
+		name string
+		s    func() sched.Scheduler
+	}{
+		{"static-base", func() sched.Scheduler { return core.NewMetricAware(1, 1) }},
+		{"2D-adaptive", func() sched.Scheduler {
+			return core.NewTuner(core.PaperBFScheme(threshold), core.PaperWScheme())
+		}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				res = runSim(b, c.s(), jobs, false)
+			}
+			b.ReportMetric(res.Metrics.AvgWaitMinutes(), "wait-min")
+			b.ReportMetric(stats.Mean(res.Metrics.QD.Values), "meanQD-min")
+			b.ReportMetric(100*stats.StdDev(res.Metrics.Util10H.Values), "stddev10H-%")
+		})
+	}
+}
+
+// BenchmarkTable2 runs the seven configurations of Table II with the
+// fairness oracle and reports all three paper metrics.
+func BenchmarkTable2(b *testing.B) {
+	jobs := benchJobs(b, 42, 200)
+	threshold := 500.0
+	for _, c := range []struct {
+		name string
+		s    func() sched.Scheduler
+	}{
+		{"BF=1/W=1", func() sched.Scheduler { return core.NewMetricAware(1, 1) }},
+		{"BF=1/W=4", func() sched.Scheduler { return core.NewMetricAware(1, 4) }},
+		{"BF=0.5/W=1", func() sched.Scheduler { return core.NewMetricAware(0.5, 1) }},
+		{"BF=0.5/W=4", func() sched.Scheduler { return core.NewMetricAware(0.5, 4) }},
+		{"BF-adapt", func() sched.Scheduler { return core.NewTuner(core.PaperBFScheme(threshold)) }},
+		{"W-adapt", func() sched.Scheduler { return core.NewTuner(core.PaperWScheme()) }},
+		{"2D-adapt", func() sched.Scheduler {
+			return core.NewTuner(core.PaperBFScheme(threshold), core.PaperWScheme())
+		}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				res = runSim(b, c.s(), jobs, true)
+			}
+			m := res.Metrics
+			b.ReportMetric(m.AvgWaitMinutes(), "wait-min")
+			b.ReportMetric(float64(m.UnfairCount()), "unfair")
+			b.ReportMetric(m.LoC()*100, "loc-%")
+		})
+	}
+}
+
+// BenchmarkAblation compares the two window-mechanism design choices
+// DESIGN.md calls out: the window objective (least makespan vs most
+// immediate utilization) and reservation placement (priority order vs
+// permutation order).
+func BenchmarkAblation(b *testing.B) {
+	jobs := benchJobs(b, 42, 250)
+	for _, c := range []struct {
+		name      string
+		utilFirst bool
+		permOrder bool
+	}{
+		{"makespan+priority", false, false},
+		{"makespan+permorder", false, true},
+		{"utilfirst+priority", true, false},
+		{"utilfirst+permorder", true, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				s := core.NewMetricAware(0.5, 4)
+				s.UtilizationFirst = c.utilFirst
+				s.PermOrderReservation = c.permOrder
+				res = runSim(b, s, jobs, false)
+			}
+			b.ReportMetric(res.Metrics.AvgWaitMinutes(), "wait-min")
+			b.ReportMetric(res.Metrics.LoC()*100, "loc-%")
+			b.ReportMetric(res.Metrics.MaxWaitMinutes(), "maxwait-min")
+		})
+	}
+}
+
+// BenchmarkFairnessOracle isolates the cost of the nested fair-start
+// simulations relative to a plain run.
+func BenchmarkFairnessOracle(b *testing.B) {
+	jobs := benchJobs(b, 42, 150)
+	for _, fair := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(fair.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				runSim(b, sched.NewEASY(), jobs, fair.on)
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the primitives ---
+
+func BenchmarkPlanEarliestStart(b *testing.B) {
+	for _, mc := range []struct {
+		name string
+		m    machine.Machine
+	}{
+		{"flat", machine.NewFlat(40960)},
+		{"partition", machine.NewIntrepid()},
+	} {
+		// 40 running jobs.
+		for i := 0; i < 40; i++ {
+			mc.m.TryStart(i, 512+(i%8)*512, 0, units.Duration(1000+i*321))
+		}
+		b.Run(mc.name, func(b *testing.B) {
+			plan := mc.m.Plan(0)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				plan.EarliestStart(4096, 3600)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanCommit(b *testing.B) {
+	m := machine.NewIntrepid()
+	for i := 0; i < 40; i++ {
+		m.TryStart(i, 512+(i%8)*512, 0, units.Duration(1000+i*321))
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		plan := m.Plan(0)
+		ts, hint := plan.EarliestStart(4096, 3600)
+		plan.Commit(4096, ts, 3600, hint)
+	}
+}
+
+func BenchmarkPrioritize(b *testing.B) {
+	jobs := benchJobs(b, 1, 500)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		core.Prioritize(units.Time(3*units.Day), jobs, 0.5)
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		cfg := workload.Mini(int64(n))
+		cfg.MaxJobs = 200
+		if _, err := cfg.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeSimulation(b *testing.B) {
+	cfg := amjs.MiniWorkload(42)
+	cfg.MaxJobs = 150
+	jobs, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := amjs.Run(amjs.SimConfig{
+			Machine:   amjs.NewPartitionMachine(8, 64),
+			Scheduler: amjs.NewMetricAware(0.5, 2),
+		}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command amjs-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	amjs-experiments [flags] [all|fig3|fig4|fig5|fig6|table2|table3 ...]
+//
+// With no arguments it runs everything. -scale quick (default) cuts the
+// trace to 12 days for minute-scale turnaround; -scale paper runs the
+// full month the paper uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"amjs/internal/experiments"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "quick", "experiment scale: quick, paper, test")
+		seed   = flag.Int64("seed", 42, "workload generator seed")
+		outdir = flag.String("outdir", "results", "directory for CSV/text artifacts ('' disables)")
+		quiet  = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:   *seed,
+		Scale:  experiments.Scale(*scale),
+		OutDir: *outdir,
+		Out:    os.Stdout,
+	}
+	if !*quiet {
+		start := time.Now()
+		opt.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), fmt.Sprintf(format, args...))
+		}
+	}
+
+	runners := map[string]func(experiments.Options) error{
+		"all":       experiments.All,
+		"fig2":      experiments.Fig2,
+		"fig3":      experiments.Fig3,
+		"fig4":      experiments.Fig4,
+		"fig5":      experiments.Fig5,
+		"fig6":      experiments.Fig6,
+		"table2":    experiments.Table2,
+		"table3":    experiments.Table3,
+		"extras":    experiments.Extras,
+		"multiseed": experiments.MultiSeed,
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, multiseed)\n", name)
+			os.Exit(2)
+		}
+		if err := run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "amjs-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

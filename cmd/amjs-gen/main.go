@@ -1,0 +1,75 @@
+// Command amjs-gen generates synthetic workloads, converts them to the
+// Standard Workload Format, and reports trace statistics.
+//
+// Examples:
+//
+//	amjs-gen -workload intrepid -seed 7 -o intrepid.swf
+//	amjs-gen -workload mini -stats
+//	amjs-gen -workload swf:trace.swf -stats -nodes 40960
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amjs/internal/cli"
+	"amjs/internal/predict"
+	"amjs/internal/workload"
+)
+
+func main() {
+	var (
+		workloadSpec = flag.String("workload", "intrepid", "workload: intrepid, intrepid-heavy, mini, swf:PATH")
+		seed         = flag.Int64("seed", 42, "generator seed")
+		maxJobs      = flag.Int("jobs", 0, "cap the number of jobs (0 = no cap)")
+		out          = flag.String("o", "", "write the workload as SWF to this file ('-' = stdout)")
+		stats        = flag.Bool("stats", false, "print trace statistics")
+		nodes        = flag.Int("nodes", 40960, "machine size used for offered-load statistics")
+		adjust       = flag.Bool("adjust", false, "tighten walltime estimates from per-user history before writing")
+	)
+	flag.Parse()
+
+	if err := run(*workloadSpec, *seed, *maxJobs, *out, *stats, *nodes, *adjust); err != nil {
+		fmt.Fprintf(os.Stderr, "amjs-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec string, seed int64, maxJobs int, out string, stats bool, nodes int, adjust bool) error {
+	jobs, name, err := cli.ParseWorkload(spec, seed, maxJobs)
+	if err != nil {
+		return err
+	}
+	if adjust {
+		before := predict.MeanOverestimate(jobs)
+		jobs = predict.AdjustTrace(jobs, predict.New(25, 1.5))
+		fmt.Fprintf(os.Stderr, "amjs-gen: walltime overestimate %.2fx -> %.2fx\n",
+			before, predict.MeanOverestimate(jobs))
+	}
+	if !stats && out == "" {
+		out = "-"
+	}
+	if stats {
+		fmt.Printf("workload: %s\n%s", name, workload.Analyze(jobs, nodes))
+	}
+	if out != "" {
+		w := os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		header := fmt.Sprintf("Workload: %s\nGenerator: amjs-gen (seed %d)\nMaxNodes: %d", name, seed, nodes)
+		if err := workload.WriteSWF(w, jobs, header); err != nil {
+			return err
+		}
+		if out != "-" {
+			fmt.Fprintf(os.Stderr, "amjs-gen: wrote %d jobs to %s\n", len(jobs), out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amjs/internal/workload"
+)
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "gen.swf")
+	if err := run("mini", 5, 30, out, false, 512, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jobs, skipped, err := workload.ReadSWF(f, workload.SWFOptions{})
+	if err != nil || skipped != 0 {
+		t.Fatalf("re-read: %v, %d skipped", err, skipped)
+	}
+	if len(jobs) != 30 {
+		t.Errorf("wrote %d jobs, want 30", len(jobs))
+	}
+}
+
+func TestStatsOnly(t *testing.T) {
+	if err := run("mini", 5, 20, "", true, 512, false); err != nil {
+		t.Fatalf("stats run: %v", err)
+	}
+}
+
+func TestRoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "a.swf")
+	if err := run("mini", 5, 25, out, false, 512, true); err != nil {
+		t.Fatal(err)
+	}
+	// Re-analyze the written trace via the swf workload spec.
+	if err := run("swf:"+out, 0, 0, "", true, 512, false); err != nil {
+		t.Fatalf("analyze written trace: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 1, 0, "", true, 512, false); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if err := run("mini", 1, 5, filepath.Join(t.TempDir(), "no", "dir", "x.swf"), false, 512, false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	_ = strings.TrimSpace("")
+}

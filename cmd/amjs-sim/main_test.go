@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amjs/internal/workload"
+)
+
+func TestRunPresets(t *testing.T) {
+	if err := run("partition:8x64", "mini", "metric:0.5:2", 3, 60, true, false, true, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("flat:512", "mini", "adaptive:2d:500", 3, 40, false, true, false, ""); err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+	if err := run("torus:2x2x2x64", "mini", "easy", 3, 40, false, false, false, ""); err != nil {
+		t.Fatalf("torus run: %v", err)
+	}
+}
+
+func TestRunSWF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.swf")
+	if err := os.WriteFile(path, []byte(workload.SampleSWF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("partition:8x64", "swf:"+path, "conservative", 0, 0, true, false, true, filepath.Join(dir, "sched.csv")); err != nil {
+		t.Fatalf("swf run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][3]string{
+		{"bogus", "mini", "easy"},
+		{"flat:8", "bogus", "easy"},
+		{"flat:8", "mini", "bogus"},
+	}
+	for _, c := range cases {
+		if err := run(c[0], c[1], c[2], 1, 10, false, false, false, ""); err == nil {
+			t.Errorf("run(%v) succeeded", c)
+		}
+	}
+}

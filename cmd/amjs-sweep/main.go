@@ -1,0 +1,133 @@
+// Command amjs-sweep runs a balance-factor x window-size parameter
+// sweep (the experiment behind the paper's Figure 3) with arbitrary
+// grids and prints a metrics table per configuration.
+//
+// Example:
+//
+//	amjs-sweep -bf 1,0.75,0.5 -w 1,2,4 -fairness -csv sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amjs/internal/cli"
+	"amjs/internal/core"
+	"amjs/internal/results"
+	"amjs/internal/sim"
+)
+
+func main() {
+	var (
+		machineSpec  = flag.String("machine", "intrepid", "machine model: intrepid, flat:N, partition:MxK")
+		workloadSpec = flag.String("workload", "intrepid", "workload: intrepid, intrepid-heavy, mini, swf:PATH")
+		seed         = flag.Int64("seed", 42, "workload generator seed")
+		maxJobs      = flag.Int("jobs", 0, "cap the number of jobs (0 = no cap)")
+		bfList       = flag.String("bf", "1,0.75,0.5,0.25,0", "comma-separated balance factors")
+		wList        = flag.String("w", "1,2,3,4,5", "comma-separated window sizes")
+		fairness     = flag.Bool("fairness", false, "run the fair-start oracle (enables unfair counts)")
+		csvPath      = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	if err := run(*machineSpec, *workloadSpec, *seed, *maxJobs, *bfList, *wList, *fairness, *csvPath); err != nil {
+		fmt.Fprintf(os.Stderr, "amjs-sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(machineSpec, workloadSpec string, seed int64, maxJobs int, bfList, wList string, fairness bool, csvPath string) error {
+	bfs, err := parseFloats(bfList)
+	if err != nil {
+		return err
+	}
+	ws, err := parseInts(wList)
+	if err != nil {
+		return err
+	}
+	for _, bf := range bfs {
+		if bf < 0 || bf > 1 {
+			return fmt.Errorf("balance factor %v outside [0,1]", bf)
+		}
+	}
+	for _, w := range ws {
+		if w < 1 {
+			return fmt.Errorf("window size %d < 1", w)
+		}
+	}
+	jobs, wname, err := cli.ParseWorkload(workloadSpec, seed, maxJobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "amjs-sweep: %s, %d jobs, %d configurations\n",
+		wname, len(jobs), len(bfs)*len(ws))
+
+	tab := results.NewTable(fmt.Sprintf("BF x W sweep on %s", wname),
+		"BF", "W", "avg wait (min)", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
+	for _, bf := range bfs {
+		for _, w := range ws {
+			m, err := cli.ParseMachine(machineSpec)
+			if err != nil {
+				return err
+			}
+			res, err := sim.Run(sim.Config{
+				Machine:   m,
+				Scheduler: core.NewMetricAware(bf, w),
+				Fairness:  fairness,
+			}, jobs)
+			if err != nil {
+				return err
+			}
+			met := res.Metrics
+			unfair := "-"
+			if fairness {
+				unfair = strconv.Itoa(met.UnfairCount())
+			}
+			tab.Add(fmt.Sprintf("%.2f", bf), strconv.Itoa(w),
+				fmt.Sprintf("%.1f", met.AvgWaitMinutes()), unfair,
+				fmt.Sprintf("%.2f", met.LoC()*100),
+				fmt.Sprintf("%.1f", met.UtilAvg()*100),
+				fmt.Sprintf("%.1f", met.MaxWaitMinutes()))
+			fmt.Fprintf(os.Stderr, "amjs-sweep: BF=%.2f W=%d done\n", bf, w)
+		}
+	}
+	tab.Render(os.Stdout)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tab.WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseLists(t *testing.T) {
+	got, err := parseFloats("1, 0.5 ,0")
+	if err != nil || !reflect.DeepEqual(got, []float64{1, 0.5, 0}) {
+		t.Errorf("parseFloats: %v %v", got, err)
+	}
+	if _, err := parseFloats("1,x"); err == nil {
+		t.Error("bad float accepted")
+	}
+	gotI, err := parseInts("1,2, 4")
+	if err != nil || !reflect.DeepEqual(gotI, []int{1, 2, 4}) {
+		t.Errorf("parseInts: %v %v", gotI, err)
+	}
+	if _, err := parseInts("1,1.5"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestSweepRuns(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sweep.csv")
+	err := run("partition:8x64", "mini", 3, 50, "1,0.5", "1,2", true, csvPath)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 { // header + 2x2 grid
+		t.Errorf("sweep rows = %d", len(recs))
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if err := run("flat:8", "mini", 1, 10, "2", "1", false, ""); err == nil {
+		t.Error("BF=2 accepted")
+	}
+	if err := run("flat:8", "mini", 1, 10, "1", "0", false, ""); err == nil {
+		t.Error("W=0 accepted")
+	}
+	if err := run("flat:8", "bogus", 1, 10, "1", "1", false, ""); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if err := run("bogus", "mini", 1, 10, "1", "1", false, ""); err == nil {
+		t.Error("bogus machine accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: generate a small synthetic workload, run it under the
+// production-default policy (FCFS + EASY backfilling) and under the
+// paper's metric-aware scheduler, and compare the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"amjs"
+)
+
+func main() {
+	// A ~4-day workload for a 512-node partitioned machine.
+	cfg := amjs.MiniWorkload(42)
+	jobs, err := cfg.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs on a 512-node machine\n\n", len(jobs))
+
+	policies := []amjs.Scheduler{
+		amjs.NewEASY(),                                    // the prevailing default
+		amjs.NewMetricAware(1, 1),                         // identical to EASY by construction
+		amjs.NewMetricAware(0.5, 1),                       // balance fairness and efficiency
+		amjs.NewMetricAware(0.5, 4),                       // + window-based allocation
+		amjs.NewTuner(amjs.BFScheme(500), amjs.WScheme()), // 2D adaptive
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tavg wait (min)\tmax wait (min)\tLoC (%)\tutil (%)")
+	for _, p := range policies {
+		res, err := amjs.Run(amjs.SimConfig{
+			Machine:   amjs.NewPartitionMachine(8, 64),
+			Scheduler: p,
+		}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.2f\t%.1f\n",
+			res.Policy, m.AvgWaitMinutes(), m.MaxWaitMinutes(), m.LoC()*100, m.UtilAvg()*100)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,94 @@
+// Tracereplay: parse a Standard Workload Format trace and replay it
+// under two-dimensional adaptive policy tuning.
+//
+// With no arguments the embedded sample trace is used; pass a path to
+// replay a real SWF trace from the Parallel Workloads Archive:
+//
+//	tracereplay [trace.swf [machine-nodes]]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"amjs"
+)
+
+func main() {
+	var (
+		src   = strings.NewReader(amjs.SampleSWF)
+		name  = "embedded sample"
+		nodes = 512
+	)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		jobs, skipped, err := amjs.ReadSWF(f, amjs.SWFOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(os.Args) > 2 {
+			n, err := strconv.Atoi(os.Args[2])
+			if err != nil {
+				log.Fatalf("bad machine size %q", os.Args[2])
+			}
+			nodes = n
+		}
+		fmt.Printf("trace: %s (%d jobs, %d skipped)\n", os.Args[1], len(jobs), skipped)
+		replay(jobs, nodes)
+		return
+	}
+
+	jobs, _, err := amjs.ReadSWF(src, amjs.SWFOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %s (%d jobs)\n", name, len(jobs))
+	replay(jobs, nodes)
+}
+
+func replay(jobs []*amjs.Job, nodes int) {
+	stats := amjs.AnalyzeWorkload(jobs, nodes)
+	fmt.Printf("\n%s\n", stats)
+
+	// A partitioned machine of the right size: keep 64-node midplanes.
+	midplanes := nodes / 64
+	if midplanes < 1 {
+		midplanes = 1
+	}
+	res, err := amjs.Run(amjs.SimConfig{
+		Machine:   amjs.NewPartitionMachine(midplanes, 64),
+		Scheduler: amjs.NewTuner(amjs.BFScheme(1000), amjs.WScheme()),
+		Fairness:  len(jobs) <= 2000, // the oracle is costly on big traces
+	}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("policy:    %s\n", res.Policy)
+	fmt.Printf("avg wait:  %.1f min   max wait: %.1f min\n", m.AvgWaitMinutes(), m.MaxWaitMinutes())
+	if m.FairKnownCount() > 0 {
+		fmt.Printf("unfair:    %d of %d jobs\n", m.UnfairCount(), m.FairKnownCount())
+	}
+	fmt.Printf("LoC:       %.2f%%   utilization: %.1f%%\n", m.LoC()*100, m.UtilAvg()*100)
+
+	fmt.Printf("\n%6s %6s %10s %10s %10s %9s\n", "job", "nodes", "submit", "start", "end", "wait(m)")
+	max := len(res.Jobs)
+	if max > 20 {
+		max = 20
+	}
+	for _, j := range res.Jobs[:max] {
+		fmt.Printf("%6d %6d %10d %10d %10d %9.1f\n",
+			j.ID, j.Nodes, int64(j.Submit), int64(j.Start), int64(j.End), j.Wait().Minutes())
+	}
+	if len(res.Jobs) > max {
+		fmt.Printf("   ... %d more\n", len(res.Jobs)-max)
+	}
+}

@@ -1,0 +1,3 @@
+module amjs
+
+go 1.22

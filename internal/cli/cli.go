@@ -1,0 +1,214 @@
+// Package cli parses the machine / workload / policy specification
+// strings shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amjs/internal/core"
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// ParseMachine builds a machine model from a spec:
+//
+//	intrepid          the paper's Blue Gene/P (80 midplanes x 512 nodes)
+//	intrepid-torus    the same machine as a 5x4x4 midplane torus
+//	flat:N            flat machine with N nodes
+//	partition:MxK     partitioned machine, M midplanes of K nodes
+//	torus:XxYxZxK     torus machine, XxYxZ midplanes of K nodes
+func ParseMachine(spec string) (machine.Machine, error) {
+	switch {
+	case spec == "" || spec == "intrepid":
+		return machine.NewIntrepid(), nil
+	case spec == "intrepid-torus":
+		return machine.NewIntrepidTorus(), nil
+	case strings.HasPrefix(spec, "torus:"):
+		dims := strings.Split(spec[len("torus:"):], "x")
+		if len(dims) != 4 {
+			return nil, fmt.Errorf("cli: bad torus machine spec %q (want torus:XxYxZxK)", spec)
+		}
+		var v [4]int
+		for i, d := range dims {
+			n, err := strconv.Atoi(d)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("cli: bad torus machine spec %q", spec)
+			}
+			v[i] = n
+		}
+		return machine.NewTorus(v[0], v[1], v[2], v[3]), nil
+	case strings.HasPrefix(spec, "flat:"):
+		n, err := strconv.Atoi(spec[len("flat:"):])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("cli: bad flat machine spec %q", spec)
+		}
+		return machine.NewFlat(n), nil
+	case strings.HasPrefix(spec, "partition:"):
+		dims := strings.Split(spec[len("partition:"):], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("cli: bad partition machine spec %q (want partition:MxK)", spec)
+		}
+		m, err1 := strconv.Atoi(dims[0])
+		k, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || m <= 0 || k <= 0 {
+			return nil, fmt.Errorf("cli: bad partition machine spec %q", spec)
+		}
+		return machine.NewPartition(m, k), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown machine %q (intrepid, flat:N, partition:MxK)", spec)
+	}
+}
+
+// ParseWorkload loads or generates a workload from a spec:
+//
+//	intrepid | intrepid-heavy | mini   synthetic presets (with seed)
+//	swf:PATH or PATH.swf               a Standard Workload Format trace
+func ParseWorkload(spec string, seed int64, maxJobs int) ([]*job.Job, string, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	var cfg workload.Config
+	switch {
+	case spec == "" || spec == "intrepid":
+		cfg = workload.Intrepid(seed)
+	case spec == "intrepid-heavy":
+		cfg = workload.IntrepidHeavy(seed)
+	case spec == "mini":
+		cfg = workload.Mini(seed)
+	case strings.HasPrefix(spec, "swf:"), strings.HasSuffix(spec, ".swf"):
+		path := strings.TrimPrefix(spec, "swf:")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("cli: %w", err)
+		}
+		defer f.Close()
+		jobs, skipped, err := workload.ReadSWF(f, workload.SWFOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		if maxJobs > 0 && len(jobs) > maxJobs {
+			jobs = jobs[:maxJobs]
+		}
+		name := fmt.Sprintf("%s (%d jobs, %d skipped)", path, len(jobs), skipped)
+		return jobs, name, nil
+	default:
+		return nil, "", fmt.Errorf("cli: unknown workload %q (intrepid, intrepid-heavy, mini, swf:PATH)", spec)
+	}
+	cfg.MaxJobs = maxJobs
+	jobs, err := cfg.Generate()
+	if err != nil {
+		return nil, "", err
+	}
+	return jobs, cfg.Name, nil
+}
+
+// ParsePolicy builds a scheduler from a spec:
+//
+//	fcfs | sjf | ljf | firstfit        plain list policies
+//	easy | conservative | wfp | dynp   backfilling baselines
+//	fairshare[:HALFLIFE-HOURS]         decayed-usage fair share
+//	relaxed:SLACK-MINUTES              relaxed backfilling (Ward et al.)
+//	utility:EXPR                       Cobalt-style utility expression,
+//	                                   e.g. utility:(wait/walltime)^3*nodes
+//	metric:BF:W[:conservative]         metric-aware scheduling
+//	adaptive:bf:THRESHOLD              adaptive balance factor
+//	adaptive:w                         adaptive window size
+//	adaptive:2d:THRESHOLD              two-dimensional tuning
+//
+// THRESHOLD is the queue-depth trigger in minutes.
+func ParsePolicy(spec string) (sched.Scheduler, error) {
+	switch spec {
+	case "", "easy":
+		return sched.NewEASY(), nil
+	case "fcfs":
+		return sched.NewFCFS(), nil
+	case "sjf":
+		return sched.NewSJF(), nil
+	case "ljf":
+		return sched.NewLJF(), nil
+	case "firstfit":
+		return sched.NewFirstFit(), nil
+	case "conservative":
+		return sched.NewConservative(), nil
+	case "wfp":
+		return sched.NewWFP(), nil
+	case "dynp":
+		return sched.NewDynP(), nil
+	case "fairshare":
+		return sched.NewFairShare(24 * units.Hour), nil
+	}
+	if strings.HasPrefix(spec, "utility:") {
+		return sched.NewUtility(spec[len("utility:"):])
+	}
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "relaxed":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("cli: bad relaxed policy %q (want relaxed:SLACK-MINUTES)", spec)
+		}
+		mins, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || mins < 0 {
+			return nil, fmt.Errorf("cli: bad slack in %q", spec)
+		}
+		return sched.NewRelaxed(units.Minutes(mins)), nil
+	case "fairshare":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("cli: bad fairshare policy %q (want fairshare:HALFLIFE-HOURS)", spec)
+		}
+		hours, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || hours <= 0 {
+			return nil, fmt.Errorf("cli: bad half-life in %q", spec)
+		}
+		return sched.NewFairShare(units.Hours(hours)), nil
+	case "metric":
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("cli: bad metric policy %q (want metric:BF:W)", spec)
+		}
+		bf, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || bf < 0 || bf > 1 {
+			return nil, fmt.Errorf("cli: bad balance factor in %q", spec)
+		}
+		w, err := strconv.Atoi(parts[2])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("cli: bad window size in %q", spec)
+		}
+		s := core.NewMetricAware(bf, w)
+		if len(parts) == 4 {
+			if parts[3] != "conservative" {
+				return nil, fmt.Errorf("cli: bad metric policy suffix %q", parts[3])
+			}
+			s.Conservative = true
+		}
+		return s, nil
+	case "adaptive":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("cli: bad adaptive policy %q", spec)
+		}
+		threshold := 1000.0 // the paper's example threshold (minutes)
+		if len(parts) >= 3 {
+			v, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("cli: bad threshold in %q", spec)
+			}
+			threshold = v
+		}
+		switch parts[1] {
+		case "bf":
+			return core.NewTuner(core.PaperBFScheme(threshold)), nil
+		case "w":
+			return core.NewTuner(core.PaperWScheme()), nil
+		case "2d":
+			return core.NewTuner(core.PaperBFScheme(threshold), core.PaperWScheme()), nil
+		default:
+			return nil, fmt.Errorf("cli: unknown adaptive scheme %q (bf, w, 2d)", parts[1])
+		}
+	default:
+		return nil, fmt.Errorf("cli: unknown policy %q", spec)
+	}
+}

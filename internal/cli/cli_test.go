@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amjs/internal/core"
+	"amjs/internal/workload"
+)
+
+func TestParseMachine(t *testing.T) {
+	m, err := ParseMachine("intrepid")
+	if err != nil || m.TotalNodes() != 40960 {
+		t.Errorf("intrepid: %v %v", m, err)
+	}
+	if m, err := ParseMachine(""); err != nil || m.TotalNodes() != 40960 {
+		t.Error("default machine wrong")
+	}
+	m, err = ParseMachine("flat:1024")
+	if err != nil || m.TotalNodes() != 1024 || !strings.HasPrefix(m.Name(), "flat") {
+		t.Errorf("flat: %v %v", m, err)
+	}
+	m, err = ParseMachine("partition:8x64")
+	if err != nil || m.TotalNodes() != 512 {
+		t.Errorf("partition: %v %v", m, err)
+	}
+	for _, bad := range []string{"flat:x", "flat:0", "partition:8", "partition:ax2", "nonsense"} {
+		if _, err := ParseMachine(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseWorkloadPresets(t *testing.T) {
+	for _, spec := range []string{"intrepid", "intrepid-heavy", "mini", ""} {
+		jobs, name, err := ParseWorkload(spec, 1, 50)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if len(jobs) == 0 || len(jobs) > 50 || name == "" {
+			t.Errorf("%q: %d jobs, name %q", spec, len(jobs), name)
+		}
+	}
+	if _, _, err := ParseWorkload("bogus", 1, 0); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestParseWorkloadSWF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.swf")
+	if err := os.WriteFile(path, []byte(workload.SampleSWF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, name, err := ParseWorkload("swf:"+path, 0, 0)
+	if err != nil || len(jobs) != 10 {
+		t.Fatalf("swf: %d jobs, %v", len(jobs), err)
+	}
+	if !strings.Contains(name, "trace.swf") {
+		t.Errorf("name = %q", name)
+	}
+	// Suffix form and MaxJobs.
+	jobs, _, err = ParseWorkload(path, 0, 3)
+	if err != nil || len(jobs) != 3 {
+		t.Errorf("suffix form: %d jobs, %v", len(jobs), err)
+	}
+	if _, _, err := ParseWorkload("swf:/does/not/exist", 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for spec, want := range map[string]string{
+		"":             "easy-fcfs",
+		"easy":         "easy-fcfs",
+		"fcfs":         "fcfs",
+		"sjf":          "sjf",
+		"ljf":          "ljf",
+		"firstfit":     "firstfit",
+		"conservative": "conservative-fcfs",
+		"wfp":          "wfp",
+		"dynp":         "dynp",
+	} {
+		s, err := ParsePolicy(spec)
+		if err != nil || s.Name() != want {
+			t.Errorf("%q: got %v, %v", spec, s, err)
+		}
+	}
+	s, err := ParsePolicy("metric:0.5:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := s.(*core.MetricAware)
+	if ma.BF != 0.5 || ma.W != 4 || ma.Conservative {
+		t.Errorf("metric parse wrong: %+v", ma)
+	}
+	s, err = ParsePolicy("metric:1:1:conservative")
+	if err != nil || !s.(*core.MetricAware).Conservative {
+		t.Errorf("conservative metric parse wrong: %v %v", s, err)
+	}
+	for _, spec := range []string{
+		"adaptive:bf", "adaptive:w", "adaptive:2d", "adaptive:bf:500",
+		"fairshare", "fairshare:12", "relaxed:15", "relaxed:0",
+	} {
+		if _, err := ParsePolicy(spec); err != nil {
+			t.Errorf("%q rejected: %v", spec, err)
+		}
+	}
+	bad := []string{
+		"metric:2:1", "metric:0.5:0", "metric:0.5", "metric:0.5:1:bogus",
+		"adaptive", "adaptive:x", "adaptive:bf:-1", "nonsense:1",
+		"relaxed", "relaxed:x", "relaxed:-1", "fairshare:0", "fairshare:x",
+	}
+	for _, spec := range bad {
+		if _, err := ParsePolicy(spec); err == nil {
+			t.Errorf("accepted %q", spec)
+		}
+	}
+}
+
+func TestParseMachineTorus(t *testing.T) {
+	m, err := ParseMachine("torus:2x2x2x64")
+	if err != nil || m.TotalNodes() != 512 {
+		t.Errorf("torus parse: %v %v", m, err)
+	}
+	m, err = ParseMachine("intrepid-torus")
+	if err != nil || m.TotalNodes() != 40960 {
+		t.Errorf("intrepid-torus parse: %v %v", m, err)
+	}
+	for _, bad := range []string{"torus:2x2x2", "torus:2x2x2x0", "torus:axbxcxd"} {
+		if _, err := ParseMachine(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParsePolicyUtility(t *testing.T) {
+	s, err := ParsePolicy("utility:(wait/walltime)^3*nodes")
+	if err != nil {
+		t.Fatalf("utility parse: %v", err)
+	}
+	if !strings.Contains(s.Name(), "utility(") {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if _, err := ParsePolicy("utility:wait +"); err == nil {
+		t.Error("bad utility expression accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// This file implements the paper's stated next step (§V): extending the
+// balanced priority beyond the two-term BF form to an arbitrary set of
+// weighted, normalized metrics — including system-cost metrics. The
+// two-term scheduler of Eq. (3) is the special case
+//
+//	NewMultiMetric(w, WaitScorer(BF), ShortJobScorer(1-BF)).
+
+// Scorer contributes one normalized metric to a multi-metric priority.
+// Score must return one value in [0, 100] per queued job (higher =
+// more urgent), and may use the whole queue for normalization, as
+// Eq. (1) and (2) do.
+type Scorer struct {
+	Name   string
+	Weight float64
+	Score  func(now units.Time, queue []*job.Job) []float64
+}
+
+// WaitScorer is Eq. (1): job age, normalized to the longest current
+// wait. Weighting it favours fairness (FCFS-like behaviour).
+func WaitScorer(weight float64) Scorer {
+	return Scorer{
+		Name:   "wait",
+		Weight: weight,
+		Score: func(now units.Time, queue []*job.Job) []float64 {
+			var waitMax units.Duration
+			for _, j := range queue {
+				if w := j.WaitAt(now); w > waitMax {
+					waitMax = w
+				}
+			}
+			out := make([]float64, len(queue))
+			for i, j := range queue {
+				out[i] = ScoreWait(j.WaitAt(now), waitMax)
+			}
+			return out
+		},
+	}
+}
+
+// ShortJobScorer is Eq. (2): requested-walltime shortness. Weighting it
+// favours turnaround efficiency (SJF-like behaviour).
+func ShortJobScorer(weight float64) Scorer {
+	return Scorer{
+		Name:   "short",
+		Weight: weight,
+		Score: func(_ units.Time, queue []*job.Job) []float64 {
+			if len(queue) == 0 {
+				return nil
+			}
+			lo, hi := queue[0].Walltime, queue[0].Walltime
+			for _, j := range queue {
+				if j.Walltime < lo {
+					lo = j.Walltime
+				}
+				if j.Walltime > hi {
+					hi = j.Walltime
+				}
+			}
+			out := make([]float64, len(queue))
+			for i, j := range queue {
+				out[i] = ScoreRuntime(j.Walltime, lo, hi)
+			}
+			return out
+		},
+	}
+}
+
+// LargeJobScorer favours capability-class jobs (largest node request
+// scores 100) — the classic system-owner priority for machines
+// procured for large runs.
+func LargeJobScorer(weight float64) Scorer {
+	return Scorer{
+		Name:   "large",
+		Weight: weight,
+		Score:  sizeScores(func(frac float64) float64 { return 100 * frac }),
+	}
+}
+
+// SmallJobScorer favours small jobs (smallest request scores 100),
+// which pack into fragmentation holes and lift utilization.
+func SmallJobScorer(weight float64) Scorer {
+	return Scorer{
+		Name:   "small",
+		Weight: weight,
+		Score:  sizeScores(func(frac float64) float64 { return 100 * (1 - frac) }),
+	}
+}
+
+// LowCostScorer is a system-cost metric of the kind the paper's future
+// work calls for: it scores jobs by the node-time they are about to
+// consume (walltime × nodes), cheapest first, normalized within the
+// queue. On power-capped machines node-time is the first-order proxy
+// for energy.
+func LowCostScorer(weight float64) Scorer {
+	return Scorer{
+		Name:   "lowcost",
+		Weight: weight,
+		Score: func(_ units.Time, queue []*job.Job) []float64 {
+			if len(queue) == 0 {
+				return nil
+			}
+			cost := func(j *job.Job) float64 { return float64(j.Nodes) * float64(j.Walltime) }
+			lo, hi := cost(queue[0]), cost(queue[0])
+			for _, j := range queue {
+				c := cost(j)
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			out := make([]float64, len(queue))
+			for i, j := range queue {
+				if hi > lo {
+					out[i] = 100 * (hi - cost(j)) / (hi - lo)
+				}
+			}
+			return out
+		},
+	}
+}
+
+func sizeScores(f func(frac float64) float64) func(units.Time, []*job.Job) []float64 {
+	return func(_ units.Time, queue []*job.Job) []float64 {
+		if len(queue) == 0 {
+			return nil
+		}
+		lo, hi := queue[0].Nodes, queue[0].Nodes
+		for _, j := range queue {
+			if j.Nodes < lo {
+				lo = j.Nodes
+			}
+			if j.Nodes > hi {
+				hi = j.Nodes
+			}
+		}
+		out := make([]float64, len(queue))
+		for i, j := range queue {
+			frac := 0.0
+			if hi > lo {
+				frac = float64(j.Nodes-lo) / float64(hi-lo)
+			}
+			out[i] = f(frac)
+		}
+		return out
+	}
+}
+
+// MultiPrioritize sorts the queue by the weighted sum of the scorers'
+// normalized metrics, highest first, ties broken by (submit, ID).
+func MultiPrioritize(now units.Time, queue []*job.Job, scorers []Scorer) []*job.Job {
+	if len(queue) == 0 {
+		return nil
+	}
+	total := make(map[*job.Job]float64, len(queue))
+	for _, sc := range scorers {
+		scores := sc.Score(now, queue)
+		if len(scores) != len(queue) {
+			panic(fmt.Sprintf("core: scorer %q returned %d scores for %d jobs", sc.Name, len(scores), len(queue)))
+		}
+		for i, j := range queue {
+			total[j] += sc.Weight * scores[i]
+		}
+	}
+	out := append([]*job.Job(nil), queue...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if total[a] != total[b] {
+			return total[a] > total[b]
+		}
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// NewMultiMetric builds a metric-aware scheduler whose priority is the
+// weighted sum of arbitrary normalized metrics, with the same
+// window-based allocation machinery as the two-term scheduler. Weights
+// need not sum to 1; negative weights invert a metric. It panics on an
+// empty scorer list or a non-positive window (configuration errors).
+func NewMultiMetric(w int, scorers ...Scorer) *MetricAware {
+	if len(scorers) == 0 {
+		panic("core: multi-metric scheduler needs at least one scorer")
+	}
+	if w < 1 {
+		panic(fmt.Sprintf("core: window size %d < 1", w))
+	}
+	names := make([]string, len(scorers))
+	for i, sc := range scorers {
+		names[i] = fmt.Sprintf("%s:%g", sc.Name, sc.Weight)
+	}
+	s := &MetricAware{
+		BF: 1, W: w,
+		nameOverride: fmt.Sprintf("multi-metric(%s,w=%d)", strings.Join(names, ","), w),
+	}
+	s.order = func(now units.Time, queue []*job.Job) []*job.Job {
+		return MultiPrioritize(now, queue, scorers)
+	}
+	return s
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"amjs/internal/sched"
+	"amjs/internal/units"
+)
+
+// Tunable identifies a scheduling-policy parameter the adaptive
+// mechanism may adjust — the paper's T.
+type Tunable int
+
+// The two tunables of §III-C.
+const (
+	TunableBF Tunable = iota // balance factor
+	TunableW                 // allocation window size
+)
+
+// String returns the tunable's name.
+func (t Tunable) String() string {
+	switch t {
+	case TunableBF:
+		return "BF"
+	case TunableW:
+		return "W"
+	default:
+		return fmt.Sprintf("tunable(%d)", int(t))
+	}
+}
+
+// Monitor evaluates a monitored metric M against its trigger conditions
+// and reports which tuning event fired: +1 for E_p (apply +Δ), -1 for
+// E_m (apply -Δ), 0 for neither.
+type Monitor interface {
+	Direction(env sched.Env, m sched.MetricsView) int
+	Describe() string
+}
+
+// QueueDepthMonitor watches the queue-depth metric (the sum of the
+// waits accumulated by all queued jobs, in minutes). While the depth is
+// at or above the threshold it fires E_m (the scheme lowers BF toward
+// efficiency); below the threshold it fires E_p (back toward fairness).
+// The threshold is chosen from historical statistics — the paper uses
+// the trace's long-term average, 1000 minutes on its workload.
+type QueueDepthMonitor struct {
+	ThresholdMinutes float64
+}
+
+// Direction implements Monitor.
+func (q QueueDepthMonitor) Direction(_ sched.Env, m sched.MetricsView) int {
+	if m.QueueDepthMinutes() >= q.ThresholdMinutes {
+		return -1
+	}
+	return +1
+}
+
+// Describe implements Monitor.
+func (q QueueDepthMonitor) Describe() string {
+	return fmt.Sprintf("queue-depth>=%.0fmin", q.ThresholdMinutes)
+}
+
+// UtilTrendMonitor watches the utilization trend, comparing a short
+// rolling average against a long one — the paper's stock-ticker rule
+// with 10-hour and 24-hour windows. When the short average dips below
+// the long one, utilization is declining and the monitor fires E_p (the
+// scheme enlarges the allocation window to repack the queue); otherwise
+// it fires E_m (back to the base window).
+type UtilTrendMonitor struct {
+	Short, Long units.Duration
+}
+
+// Direction implements Monitor.
+func (u UtilTrendMonitor) Direction(_ sched.Env, m sched.MetricsView) int {
+	if m.UtilWindowAvg(u.Short) < m.UtilWindowAvg(u.Long) {
+		return +1
+	}
+	return -1
+}
+
+// Describe implements Monitor.
+func (u UtilTrendMonitor) Describe() string {
+	return fmt.Sprintf("util(%dh)<util(%dh)", u.Short/units.Hour, u.Long/units.Hour)
+}
+
+// Scheme is one configured instance of the paper's adaptive tuple
+// <T, T_i, Δ, M, Th, E_p, E_m, C_i> (Table I). The monitored metric M,
+// its threshold Th, and the events E_p/E_m live in the Monitor; the
+// checking interval C_i is owned by the simulation engine, which calls
+// Checkpoint on that period.
+type Scheme struct {
+	Target   Tunable
+	Initial  float64 // T_i
+	Delta    float64 // Δ
+	Min, Max float64 // clamp bounds of the tunable
+	Monitor  Monitor
+}
+
+// PaperBFScheme is the balance-factor scheme of §IV-C1: monitor queue
+// depth with the given threshold; deep queue → BF 0.5, shallow → BF 1.
+func PaperBFScheme(thresholdMinutes float64) Scheme {
+	return Scheme{
+		Target:  TunableBF,
+		Initial: 1, Delta: 0.5, Min: 0.5, Max: 1,
+		Monitor: QueueDepthMonitor{ThresholdMinutes: thresholdMinutes},
+	}
+}
+
+// FineBFScheme is a fine-grained variant of the balance-factor scheme:
+// instead of toggling between 1 and 0.5, BF walks in steps of delta
+// within [0.5, 1] as the queue depth crosses the threshold — the
+// "fine-grained tuning" §II contrasts with dynP's coarse policy
+// switching. With delta = 0.5 it degenerates to PaperBFScheme.
+func FineBFScheme(thresholdMinutes, delta float64) Scheme {
+	return Scheme{
+		Target:  TunableBF,
+		Initial: 1, Delta: delta, Min: 0.5, Max: 1,
+		Monitor: QueueDepthMonitor{ThresholdMinutes: thresholdMinutes},
+	}
+}
+
+// PaperWScheme is the window-size scheme of §IV-C2: when the 10-hour
+// utilization average drops below the 24-hour average, the window grows
+// from 1 to 4; otherwise it returns to 1.
+func PaperWScheme() Scheme {
+	return Scheme{
+		Target:  TunableW,
+		Initial: 1, Delta: 3, Min: 1, Max: 4,
+		Monitor: UtilTrendMonitor{Short: 10 * units.Hour, Long: 24 * units.Hour},
+	}
+}
+
+// Validate reports configuration errors in the scheme.
+func (s Scheme) Validate() error {
+	switch {
+	case s.Monitor == nil:
+		return fmt.Errorf("core: scheme for %v has no monitor", s.Target)
+	case s.Delta <= 0:
+		return fmt.Errorf("core: scheme for %v has non-positive delta", s.Target)
+	case s.Min > s.Max:
+		return fmt.Errorf("core: scheme for %v has min > max", s.Target)
+	case s.Initial < s.Min || s.Initial > s.Max:
+		return fmt.Errorf("core: scheme for %v has initial outside [min,max]", s.Target)
+	case s.Target == TunableBF && (s.Min < 0 || s.Max > 1):
+		return fmt.Errorf("core: BF scheme bounds outside [0,1]")
+	case s.Target == TunableW && s.Min < 1:
+		return fmt.Errorf("core: W scheme bound below 1")
+	}
+	return nil
+}
+
+// Tuner implements Algorithm 1: it wraps a MetricAware scheduler and, at
+// every engine checkpoint (the checking interval C_i), evaluates each
+// scheme's monitor and walks the corresponding tunable by ±Δ within its
+// bounds. With one scheme it is the paper's BF-only or W-only adaptive
+// policy; with both it is two-dimensional policy tuning (§IV-C3).
+type Tuner struct {
+	base    *MetricAware
+	schemes []Scheme
+}
+
+// NewTuner builds an adaptive scheduler from the schemes. The wrapped
+// policy starts at each scheme's Initial value. It panics on an invalid
+// scheme (a configuration error).
+func NewTuner(schemes ...Scheme) *Tuner {
+	if len(schemes) == 0 {
+		panic("core: tuner needs at least one scheme")
+	}
+	base := NewMetricAware(1, 1)
+	for _, s := range schemes {
+		if err := s.Validate(); err != nil {
+			panic(err.Error())
+		}
+		applyTunable(base, s.Target, s.Initial)
+	}
+	return &Tuner{base: base, schemes: schemes}
+}
+
+// Name implements sched.Scheduler.
+func (t *Tuner) Name() string {
+	parts := make([]string, len(t.schemes))
+	for i, s := range t.schemes {
+		parts[i] = s.Target.String()
+	}
+	return fmt.Sprintf("adaptive(%s)", strings.Join(parts, "+"))
+}
+
+// Base exposes the wrapped metric-aware scheduler (for inspection).
+func (t *Tuner) Base() *MetricAware { return t.base }
+
+// Tunables reports the current policy parameters.
+func (t *Tuner) Tunables() (bf float64, w int) { return t.base.Tunables() }
+
+// Schedule implements sched.Scheduler.
+func (t *Tuner) Schedule(env sched.Env) { t.base.Schedule(env) }
+
+// Clone implements sched.Scheduler. The clone carries the current
+// tuning state; in nested (fairness-oracle) simulations no checkpoints
+// fire, so the policy stays frozen there, as DESIGN.md specifies.
+func (t *Tuner) Clone() sched.Scheduler {
+	base := *t.base
+	return &Tuner{base: &base, schemes: append([]Scheme(nil), t.schemes...)}
+}
+
+// Checkpoint implements sched.Adaptive.
+func (t *Tuner) Checkpoint(env sched.Env, m sched.MetricsView) {
+	for _, s := range t.schemes {
+		dir := s.Monitor.Direction(env, m)
+		if dir == 0 {
+			continue
+		}
+		cur := readTunable(t.base, s.Target)
+		next := cur + float64(dir)*s.Delta
+		if next < s.Min {
+			next = s.Min
+		}
+		if next > s.Max {
+			next = s.Max
+		}
+		applyTunable(t.base, s.Target, next)
+	}
+}
+
+func readTunable(b *MetricAware, t Tunable) float64 {
+	switch t {
+	case TunableBF:
+		return b.BF
+	case TunableW:
+		return float64(b.W)
+	default:
+		panic(fmt.Sprintf("core: unknown tunable %v", t))
+	}
+}
+
+func applyTunable(b *MetricAware, t Tunable, v float64) {
+	switch t {
+	case TunableBF:
+		b.BF = v
+	case TunableW:
+		b.W = int(v + 0.5)
+	default:
+		panic(fmt.Sprintf("core: unknown tunable %v", t))
+	}
+}

@@ -1,0 +1,98 @@
+// Package eventq implements the time-ordered event queue driving the
+// discrete-event simulator.
+//
+// Events are ordered by (time, kind, insertion sequence): ties at the
+// same instant are broken first by kind — so that, e.g., job completions
+// can be processed before arrivals at the same timestamp, making freed
+// nodes visible to the arriving job's scheduling pass — and then by
+// insertion order, which keeps the simulation fully deterministic.
+package eventq
+
+import (
+	"container/heap"
+
+	"amjs/internal/units"
+)
+
+// Item is a scheduled event carrying an arbitrary payload.
+type Item[T any] struct {
+	Time    units.Time
+	Kind    int
+	Seq     int64
+	Payload T
+}
+
+// Queue is a stable min-heap of events. The zero value is ready to use.
+type Queue[T any] struct {
+	h   itemHeap[T]
+	seq int64
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Push schedules an event.
+func (q *Queue[T]) Push(t units.Time, kind int, payload T) {
+	q.seq++
+	heap.Push(&q.h, Item[T]{Time: t, Kind: kind, Seq: q.seq, Payload: payload})
+}
+
+// Pop removes and returns the earliest event; ok is false when empty.
+func (q *Queue[T]) Pop() (it Item[T], ok bool) {
+	if len(q.h) == 0 {
+		return it, false
+	}
+	return heap.Pop(&q.h).(Item[T]), true
+}
+
+// Peek returns the earliest event without removing it; ok is false when
+// empty.
+func (q *Queue[T]) Peek() (it Item[T], ok bool) {
+	if len(q.h) == 0 {
+		return it, false
+	}
+	return q.h[0], true
+}
+
+// Clone returns an independent copy of the queue (payloads are copied
+// shallowly; remap them afterwards if they hold pointers).
+func (q *Queue[T]) Clone() *Queue[T] {
+	c := &Queue[T]{seq: q.seq}
+	c.h = append(itemHeap[T](nil), q.h...)
+	return c
+}
+
+// Remap applies f to every pending payload, in place. The simulator uses
+// it after cloning to point payloads at the cloned jobs.
+func (q *Queue[T]) Remap(f func(T) T) {
+	for i := range q.h {
+		q.h[i].Payload = f(q.h[i].Payload)
+	}
+}
+
+type itemHeap[T any] []Item[T]
+
+func (h itemHeap[T]) Len() int { return len(h) }
+
+func (h itemHeap[T]) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Seq < b.Seq
+}
+
+func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *itemHeap[T]) Push(x any) { *h = append(*h, x.(Item[T])) }
+
+func (h *itemHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

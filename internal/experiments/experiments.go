@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV): the metric-balancing sweep (Fig. 3), adaptive
+// balance-factor tuning (Fig. 4), adaptive window tuning (Fig. 5),
+// two-dimensional tuning (Fig. 6), the overall-improvement table
+// (Table II), and the scheduling-cost table (Table III).
+//
+// Each driver runs the required simulations, renders ASCII
+// tables/charts to Options.Out, and (when OutDir is set) writes CSV and
+// text files an external plotting tool can consume.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sim"
+	"amjs/internal/stats"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// Scale selects the experiment size.
+type Scale string
+
+// Scales. Paper runs the full month-long trace on the full Intrepid
+// model; Quick cuts the horizon to 12 days (minutes instead of tens of
+// minutes of wall time, same shapes); Test is a seconds-scale
+// configuration for the test suite.
+const (
+	ScalePaper Scale = "paper"
+	ScaleQuick Scale = "quick"
+	ScaleTest  Scale = "test"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Seed   int64
+	Scale  Scale
+	OutDir string    // directory for CSV/text artifacts; "" = no files
+	Out    io.Writer // ASCII rendering destination; nil = discard
+	Log    func(format string, args ...any)
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) log(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// platform bundles the machine model, workload, and figure horizon for
+// one scale.
+type platform struct {
+	machine     func() machine.Machine
+	config      workload.Config
+	heavy       workload.Config // second workload for Table II
+	plotHorizon units.Duration  // time-series truncation (paper: 200 h)
+}
+
+func (o Options) platform() (platform, error) {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	switch o.Scale {
+	case ScalePaper, "":
+		return platform{
+			machine:     func() machine.Machine { return machine.NewIntrepid() },
+			config:      workload.Intrepid(seed),
+			heavy:       workload.IntrepidHeavy(seed),
+			plotHorizon: 200 * units.Hour,
+		}, nil
+	case ScaleQuick:
+		cfg := workload.Intrepid(seed)
+		cfg.Horizon = 12 * units.Day
+		heavy := workload.IntrepidHeavy(seed)
+		heavy.Horizon = 12 * units.Day
+		return platform{
+			machine:     func() machine.Machine { return machine.NewIntrepid() },
+			config:      cfg,
+			heavy:       heavy,
+			plotHorizon: 200 * units.Hour,
+		}, nil
+	case ScaleTest:
+		cfg := workload.Mini(seed)
+		cfg.MaxJobs = 120
+		heavy := workload.Mini(seed + 1)
+		heavy.MaxJobs = 120
+		heavy.Name = "mini-heavy"
+		return platform{
+			machine:     func() machine.Machine { return machine.NewPartition(8, 64) },
+			config:      cfg,
+			heavy:       heavy,
+			plotHorizon: 48 * units.Hour,
+		}, nil
+	default:
+		return platform{}, fmt.Errorf("experiments: unknown scale %q", o.Scale)
+	}
+}
+
+// writeFile renders into OutDir/name when file output is enabled.
+func (o Options) writeFile(name string, render func(io.Writer) error) error {
+	if o.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.OutDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	f, err := os.Create(filepath.Join(o.OutDir, name))
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return fmt.Errorf("experiments: writing %s: %w", name, err)
+	}
+	return f.Close()
+}
+
+// runOne simulates jobs on a fresh platform machine under the scheduler.
+func runOne(pf platform, s sched.Scheduler, jobs []*job.Job, fairness bool) (*sim.Result, error) {
+	return sim.Run(sim.Config{
+		Machine:   pf.machine(),
+		Scheduler: s,
+		Fairness:  fairness,
+	}, jobs)
+}
+
+// meanQD returns the run's average checkpoint queue depth — the
+// "historical statistics" the paper derives the adaptive BF threshold
+// from (it uses the whole month's average).
+func meanQD(res *sim.Result) float64 {
+	return stats.Mean(res.Metrics.QD.Values)
+}
+
+// All runs every experiment in paper order.
+func All(opt Options) error {
+	steps := []struct {
+		name string
+		run  func(Options) error
+	}{
+		{"fig2", Fig2}, {"fig3", Fig3}, {"fig4", Fig4}, {"fig5", Fig5},
+		{"fig6", Fig6}, {"table2", Table2}, {"table3", Table3},
+		{"extras", Extras},
+	}
+	for _, s := range steps {
+		opt.log("=== %s ===", s.name)
+		if err := s.run(opt); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}

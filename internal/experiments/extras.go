@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"amjs/internal/core"
+	"amjs/internal/machine"
+	"amjs/internal/predict"
+	"amjs/internal/results"
+	"amjs/internal/sched"
+	"amjs/internal/sim"
+)
+
+// Extras runs the beyond-the-paper studies DESIGN.md calls out:
+//
+//	(a) ablation of the window mechanism's two design choices
+//	    (objective and reservation placement);
+//	(b) the same policy across machine models (flat, 1-D partition,
+//	    3-D torus) — how much of the story is fragmentation;
+//	(c) walltime-estimate adjustment (the [20] companion work) under
+//	    the baseline policy;
+//	(d) sensitivity of the adaptive BF scheme to its queue-depth
+//	    threshold.
+func Extras(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	jobs, err := pf.config.Generate()
+	if err != nil {
+		return err
+	}
+
+	// (a) Window-mechanism ablation at BF=0.5, W=4.
+	abl := results.NewTable("Extras (a): window-mechanism ablation (BF=0.5, W=4)",
+		"objective", "reservation", "avg wait (min)", "max wait (min)", "LoC (%)")
+	for _, c := range []struct {
+		obj, res  string
+		utilFirst bool
+		permOrder bool
+	}{
+		{"makespan", "priority-order", false, false},
+		{"makespan", "perm-order", false, true},
+		{"util-first", "priority-order", true, false},
+		{"util-first", "perm-order", true, true},
+	} {
+		s := core.NewMetricAware(0.5, 4)
+		s.UtilizationFirst = c.utilFirst
+		s.PermOrderReservation = c.permOrder
+		res, err := runOne(pf, s, jobs, false)
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		abl.Addf(c.obj, c.res, m.AvgWaitMinutes(), m.MaxWaitMinutes(), m.LoC()*100)
+		opt.log("extras: ablation %s/%s wait=%.1f", c.obj, c.res, m.AvgWaitMinutes())
+	}
+
+	// (b) Machine-model comparison under the base policy.
+	mdl := results.NewTable("Extras (b): machine models under BF=1/W=1 (FCFS+EASY)",
+		"machine", "avg wait (min)", "LoC (%)", "util busy (%)", "util requested (%)")
+	for _, mm := range machineVariants(pf) {
+		res, err := sim.Run(sim.Config{Machine: mm, Scheduler: core.NewMetricAware(1, 1)}, jobs)
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		mdl.Addf(mm.Name(), m.AvgWaitMinutes(), m.LoC()*100, m.UtilAvg()*100, m.UsedAvg()*100)
+		opt.log("extras: machine %s wait=%.1f loc=%.2f%%", mm.Name(), m.AvgWaitMinutes(), m.LoC()*100)
+	}
+
+	// (c) Walltime-estimate adjustment under FCFS+EASY.
+	est := results.NewTable("Extras (c): walltime-estimate adjustment (FCFS+EASY)",
+		"estimates", "mean overestimate", "avg wait (min)", "LoC (%)")
+	adjusted := predict.AdjustTrace(jobs, predict.New(25, 1.5))
+	base, err := runOne(pf, sched.NewEASY(), jobs, false)
+	if err != nil {
+		return err
+	}
+	adj, err := runOne(pf, sched.NewEASY(), adjusted, false)
+	if err != nil {
+		return err
+	}
+	est.Addf("user-provided", predict.MeanOverestimate(jobs), base.Metrics.AvgWaitMinutes(), base.Metrics.LoC()*100)
+	est.Addf("history-adjusted", predict.MeanOverestimate(adjusted), adj.Metrics.AvgWaitMinutes(), adj.Metrics.LoC()*100)
+	opt.log("extras: estimates %.2fx -> %.2fx, wait %.1f -> %.1f",
+		predict.MeanOverestimate(jobs), predict.MeanOverestimate(adjusted),
+		base.Metrics.AvgWaitMinutes(), adj.Metrics.AvgWaitMinutes())
+
+	// (d) BF-threshold sensitivity around the trace average.
+	avg := meanQD(base)
+	sens := results.NewTable("Extras (d): adaptive-BF threshold sensitivity",
+		"threshold (min)", "avg wait (min)", "mean QD (min)", "max QD (min)")
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		th := avg * mult
+		res, err := runOne(pf, core.NewTuner(core.PaperBFScheme(th)), jobs, false)
+		if err != nil {
+			return err
+		}
+		sens.Addf(fmt.Sprintf("%.0f (%.2gx avg)", th, mult),
+			res.Metrics.AvgWaitMinutes(), meanQD(res), res.Metrics.QD.MaxValue())
+		opt.log("extras: threshold %.0f wait=%.1f", th, res.Metrics.AvgWaitMinutes())
+	}
+
+	out := opt.out()
+	for _, tb := range []*results.Table{abl, mdl, est, sens} {
+		tb.Render(out)
+		fmt.Fprintln(out)
+	}
+	for name, tb := range map[string]*results.Table{
+		"extras_ablation.csv":    abl,
+		"extras_machines.csv":    mdl,
+		"extras_estimates.csv":   est,
+		"extras_sensitivity.csv": sens,
+	} {
+		tb := tb
+		if err := opt.writeFile(name, func(w io.Writer) error { return tb.WriteCSV(w) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// machineVariants returns comparable machine models at the platform's
+// scale.
+func machineVariants(pf platform) []machine.Machine {
+	base := pf.machine()
+	switch base.TotalNodes() {
+	case 40960:
+		return []machine.Machine{
+			machine.NewFlat(40960),
+			machine.NewIntrepid(),
+			machine.NewIntrepidTorus(),
+		}
+	default:
+		n := base.TotalNodes()
+		per := n / 8
+		if per < 1 {
+			per = 1
+		}
+		return []machine.Machine{
+			machine.NewFlat(n),
+			machine.NewPartition(8, per),
+			machine.NewTorus(2, 2, 2, n/8),
+		}
+	}
+}

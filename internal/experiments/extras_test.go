@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtras(t *testing.T) {
+	opt, dir := testOpts(t)
+	var buf bytes.Buffer
+	opt.Out = &buf
+	if err := Extras(opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ablation", "machine models", "estimate", "sensitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extras output missing %q", want)
+		}
+	}
+
+	abl := readCSV(t, filepath.Join(dir, "extras_ablation.csv"))
+	if len(abl) != 5 { // header + 4 combinations
+		t.Errorf("ablation rows = %d", len(abl))
+	}
+
+	mdl := readCSV(t, filepath.Join(dir, "extras_machines.csv"))
+	if len(mdl) != 4 { // header + flat + partition + torus
+		t.Fatalf("machine rows = %d", len(mdl))
+	}
+	// The flat machine has no placement constraints, so its loss of
+	// capacity can only come from reservation draining; the constrained
+	// models must not beat it on utilization of requested nodes.
+	flatUtil, err := strconv.ParseFloat(mdl[1][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flatUtil <= 0 {
+		t.Errorf("flat requested-util = %v", flatUtil)
+	}
+
+	est := readCSV(t, filepath.Join(dir, "extras_estimates.csv"))
+	if len(est) != 3 {
+		t.Fatalf("estimate rows = %d", len(est))
+	}
+	before, err1 := strconv.ParseFloat(est[1][1], 64)
+	after, err2 := strconv.ParseFloat(est[2][1], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if after >= before {
+		t.Errorf("adjustment did not tighten estimates: %.2f -> %.2f", before, after)
+	}
+
+	sens := readCSV(t, filepath.Join(dir, "extras_sensitivity.csv"))
+	if len(sens) != 6 { // header + 5 thresholds
+		t.Errorf("sensitivity rows = %d", len(sens))
+	}
+}
+
+func TestMultiSeed(t *testing.T) {
+	opt, dir := testOpts(t)
+	var buf bytes.Buffer
+	opt.Out = &buf
+	if err := MultiSeed(opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Error("multiseed output missing mean±stddev")
+	}
+	recs := readCSV(t, filepath.Join(dir, "table2_multiseed.csv"))
+	if len(recs) != 8 { // header + 7 configurations
+		t.Errorf("multiseed rows = %d", len(recs))
+	}
+}
+
+func TestFig2(t *testing.T) {
+	opt, dir := testOpts(t)
+	var buf bytes.Buffer
+	opt.Out = &buf
+	if err := Fig2(opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 2", "W=1", "W=3", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output missing %q", want)
+		}
+	}
+	recs := readCSV(t, filepath.Join(dir, "fig2_summary.csv"))
+	if len(recs) != 3 {
+		t.Fatalf("fig2 rows = %d", len(recs))
+	}
+	one, err1 := strconv.Atoi(recs[1][1])
+	grouped, err2 := strconv.Atoi(recs[2][1])
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// The grouped allocation must finish the example earlier — the
+	// figure's point.
+	if grouped >= one {
+		t.Errorf("grouped makespan %d not better than one-by-one %d", grouped, one)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"amjs/internal/core"
+	"amjs/internal/results"
+)
+
+// fig3BFs and fig3Ws are the paper's sweep: BF ∈ {1, 0.75, 0.5, 0.25, 0}
+// (1 emulates FCFS, 0 emulates SJF) and window sizes 1–5.
+var (
+	fig3BFs = []float64{1, 0.75, 0.5, 0.25, 0}
+	fig3Ws  = []int{1, 2, 3, 4, 5}
+)
+
+// Fig3 reproduces Figure 3: the effect of the balance factor and window
+// size on (a) average waiting time, (b) the number of unfair jobs, and
+// (c) loss of capacity.
+func Fig3(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	jobs, err := pf.config.Generate()
+	if err != nil {
+		return err
+	}
+	opt.log("fig3: %d jobs on %s, %d configurations",
+		len(jobs), pf.machine().Name(), len(fig3BFs)*len(fig3Ws))
+
+	type cell struct {
+		wait   float64
+		unfair int
+		loc    float64
+	}
+	grid := make(map[[2]int]cell) // [bfIdx, wIdx]
+	for bi, bf := range fig3BFs {
+		for wi, w := range fig3Ws {
+			res, err := runOne(pf, core.NewMetricAware(bf, w), jobs, true)
+			if err != nil {
+				return err
+			}
+			grid[[2]int{bi, wi}] = cell{
+				wait:   res.Metrics.AvgWaitMinutes(),
+				unfair: res.Metrics.UnfairCount(),
+				loc:    res.Metrics.LoC() * 100,
+			}
+			opt.log("fig3: BF=%.2f W=%d wait=%.1fmin unfair=%d loc=%.2f%%",
+				bf, w, res.Metrics.AvgWaitMinutes(), res.Metrics.UnfairCount(), res.Metrics.LoC()*100)
+		}
+	}
+
+	// Fig 3(a,b): x-axis BF, one column per window size.
+	cols := []string{"BF"}
+	for _, w := range fig3Ws {
+		cols = append(cols, fmt.Sprintf("W=%d", w))
+	}
+	waitTab := results.NewTable("Fig 3(a): average waiting time (min) vs balance factor", cols...)
+	unfairTab := results.NewTable("Fig 3(b): number of unfair jobs vs balance factor", cols...)
+	for bi, bf := range fig3BFs {
+		wRow := []string{fmt.Sprintf("%.2f", bf)}
+		uRow := []string{fmt.Sprintf("%.2f", bf)}
+		for wi := range fig3Ws {
+			c := grid[[2]int{bi, wi}]
+			wRow = append(wRow, fmt.Sprintf("%.1f", c.wait))
+			uRow = append(uRow, fmt.Sprintf("%d", c.unfair))
+		}
+		waitTab.Add(wRow...)
+		unfairTab.Add(uRow...)
+	}
+
+	// Fig 3(c): x-axis window size, one column per BF (as in the paper,
+	// because LoC responds to W more than to BF).
+	locCols := []string{"W"}
+	for _, bf := range fig3BFs {
+		locCols = append(locCols, fmt.Sprintf("BF=%.2f", bf))
+	}
+	locTab := results.NewTable("Fig 3(c): loss of capacity (%) vs window size", locCols...)
+	for wi, w := range fig3Ws {
+		row := []string{fmt.Sprintf("%d", w)}
+		for bi := range fig3BFs {
+			row = append(row, fmt.Sprintf("%.2f", grid[[2]int{bi, wi}].loc))
+		}
+		locTab.Add(row...)
+	}
+
+	for _, tb := range []*results.Table{waitTab, unfairTab, locTab} {
+		tb.Render(opt.out())
+		fmt.Fprintln(opt.out())
+	}
+	for name, tb := range map[string]*results.Table{
+		"fig3a_wait.csv": waitTab, "fig3b_unfair.csv": unfairTab, "fig3c_loc.csv": locTab,
+	} {
+		tb := tb
+		if err := opt.writeFile(name, func(w io.Writer) error { return tb.WriteCSV(w) }); err != nil {
+			return err
+		}
+	}
+	return opt.writeFile("fig3.txt", func(w io.Writer) error {
+		waitTab.Render(w)
+		unfairTab.Render(w)
+		locTab.Render(w)
+		return nil
+	})
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"amjs/internal/core"
+	"amjs/internal/results"
+	"amjs/internal/sim"
+	"amjs/internal/stats"
+	"amjs/internal/units"
+)
+
+// plotCutoff is the absolute truncation instant for the time-series
+// figures (traces start at time zero; the paper plots the first 200 h).
+func (p platform) plotCutoff() units.Time {
+	return units.Time(p.plotHorizon)
+}
+
+// Fig4 reproduces Figure 4: the queue-depth time series under static
+// balance factors (1, 0.75, 0.5, all with W=1) and under adaptive BF
+// tuning, plotted on linear and logarithmic scales over the first
+// stretch of the trace. The adaptive threshold is the base run's
+// whole-trace average queue depth, as in the paper.
+func Fig4(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	jobs, err := pf.config.Generate()
+	if err != nil {
+		return err
+	}
+
+	type entry struct {
+		name string
+		res  *sim.Result
+	}
+	var entries []entry
+	for _, bf := range []float64{1, 0.75, 0.5} {
+		res, err := runOne(pf, core.NewMetricAware(bf, 1), jobs, false)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry{fmt.Sprintf("BF=%.2f", bf), res})
+		opt.log("fig4: BF=%.2f meanQD=%.0f maxQD=%.0f", bf, meanQD(res), res.Metrics.QD.MaxValue())
+	}
+
+	threshold := meanQD(entries[0].res)
+	opt.log("fig4: adaptive threshold = %.0f min (trace average)", threshold)
+	adRes, err := runOne(pf, core.NewTuner(core.PaperBFScheme(threshold)), jobs, false)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{"adaptive", adRes})
+	opt.log("fig4: adaptive meanQD=%.0f maxQD=%.0f", meanQD(adRes), adRes.Metrics.QD.MaxValue())
+
+	var series []*stats.Series
+	for _, e := range entries {
+		s := e.res.Metrics.QD.Truncate(pf.plotCutoff())
+		s.Name = e.name
+		series = append(series, s)
+	}
+
+	out := opt.out()
+	results.Chart(out, "Fig 4(a): queue depth over time (linear)",
+		results.ChartOptions{YLabel: "queue depth (min)"}, series...)
+	fmt.Fprintln(out)
+	results.Chart(out, "Fig 4(b): queue depth over time (log)",
+		results.ChartOptions{YLabel: "queue depth (min)", LogY: true}, series...)
+	fmt.Fprintln(out)
+
+	summary := results.NewTable("Fig 4 summary (full trace)",
+		"policy", "mean QD (min)", "max QD (min)", "avg wait (min)")
+	for _, e := range entries {
+		summary.Addf(e.name, meanQD(e.res), e.res.Metrics.QD.MaxValue(), e.res.Metrics.AvgWaitMinutes())
+	}
+	summary.Render(out)
+	fmt.Fprintln(out)
+
+	if err := opt.writeFile("fig4_queue_depth.csv", func(w io.Writer) error {
+		return results.SeriesCSV(w, series...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig4a_linear.svg", func(w io.Writer) error {
+		return results.ChartSVG(w, "Fig 4(a): queue depth over time",
+			results.ChartOptions{YLabel: "queue depth (min)"}, series...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig4b_log.svg", func(w io.Writer) error {
+		return results.ChartSVG(w, "Fig 4(b): queue depth over time (log)",
+			results.ChartOptions{YLabel: "queue depth (min)", LogY: true}, series...)
+	}); err != nil {
+		return err
+	}
+	return opt.writeFile("fig4_summary.csv", summary.WriteCSV)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"amjs/internal/core"
+	"amjs/internal/metrics"
+	"amjs/internal/results"
+	"amjs/internal/stats"
+	"amjs/internal/units"
+)
+
+// utilSeries extracts the four utilization lines of Figure 5 (instant,
+// 1-hour, 10-hour, and 24-hour rolling averages), truncated for
+// plotting, in percent.
+func utilSeries(m *metrics.Collector, cutoff units.Time) []*stats.Series {
+	pick := func(name string, src *stats.Series) *stats.Series {
+		s := src.Truncate(cutoff)
+		s.Name = name
+		for i := range s.Values {
+			s.Values[i] *= 100
+		}
+		return s
+	}
+	return []*stats.Series{
+		pick("instant", &m.UtilInstant),
+		pick("1H", &m.Util1H),
+		pick("10H", &m.Util10H),
+		pick("24H", &m.Util24H),
+	}
+}
+
+// Fig5 reproduces Figure 5: monitoring of system utilization with a
+// static window (W=1) versus adaptive window tuning (W toggles to 4
+// when the 10-hour utilization average falls below the 24-hour
+// average — the stock-ticker rule).
+func Fig5(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	jobs, err := pf.config.Generate()
+	if err != nil {
+		return err
+	}
+
+	static, err := runOne(pf, core.NewMetricAware(1, 1), jobs, false)
+	if err != nil {
+		return err
+	}
+	adaptive, err := runOne(pf, core.NewTuner(core.PaperWScheme()), jobs, false)
+	if err != nil {
+		return err
+	}
+	opt.log("fig5: static util=%.1f%% loc=%.2f%%; adaptive util=%.1f%% loc=%.2f%%",
+		static.Metrics.UtilAvg()*100, static.Metrics.LoC()*100,
+		adaptive.Metrics.UtilAvg()*100, adaptive.Metrics.LoC()*100)
+
+	out := opt.out()
+	cut := pf.plotCutoff()
+	results.Chart(out, "Fig 5(a): system utilization, static W=1",
+		results.ChartOptions{YLabel: "utilization (%)"}, utilSeries(static.Metrics, cut)...)
+	fmt.Fprintln(out)
+	results.Chart(out, "Fig 5(b): system utilization, adaptive W (1<->4)",
+		results.ChartOptions{YLabel: "utilization (%)"}, utilSeries(adaptive.Metrics, cut)...)
+	fmt.Fprintln(out)
+
+	// Stability summary: the paper's claim is that adaptive W stabilizes
+	// the rolling averages; report the standard deviation of each line.
+	summary := results.NewTable("Fig 5 summary (full trace)",
+		"policy", "util (%)", "LoC (%)", "stddev 10H (%)", "stddev 24H (%)", "avg wait (min)")
+	add := func(name string, m *metrics.Collector, wait float64) {
+		summary.Addf(name, m.UtilAvg()*100, m.LoC()*100,
+			100*stats.StdDev(m.Util10H.Values), 100*stats.StdDev(m.Util24H.Values), wait)
+	}
+	add("W=1 static", static.Metrics, static.Metrics.AvgWaitMinutes())
+	add("W adaptive", adaptive.Metrics, adaptive.Metrics.AvgWaitMinutes())
+	summary.Render(out)
+	fmt.Fprintln(out)
+
+	if err := opt.writeFile("fig5a_util_static.csv", func(w io.Writer) error {
+		return results.SeriesCSV(w, utilSeries(static.Metrics, cut)...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig5b_util_adaptive.csv", func(w io.Writer) error {
+		return results.SeriesCSV(w, utilSeries(adaptive.Metrics, cut)...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig5a_static.svg", func(w io.Writer) error {
+		return results.ChartSVG(w, "Fig 5(a): utilization, static W=1",
+			results.ChartOptions{YLabel: "utilization (%)"}, utilSeries(static.Metrics, cut)...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig5b_adaptive.svg", func(w io.Writer) error {
+		return results.ChartSVG(w, "Fig 5(b): utilization, adaptive W",
+			results.ChartOptions{YLabel: "utilization (%)"}, utilSeries(adaptive.Metrics, cut)...)
+	}); err != nil {
+		return err
+	}
+	return opt.writeFile("fig5_summary.csv", summary.WriteCSV)
+}

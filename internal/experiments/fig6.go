@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"amjs/internal/core"
+	"amjs/internal/results"
+	"amjs/internal/sim"
+	"amjs/internal/stats"
+)
+
+// Fig6 reproduces Figure 6: two-dimensional policy tuning — BF and W
+// tuned simultaneously by their respective monitors — showing (a) the
+// queue-depth series against the static policies and BF-only tuning,
+// and (b) the utilization series under 2D tuning.
+func Fig6(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	jobs, err := pf.config.Generate()
+	if err != nil {
+		return err
+	}
+
+	base, err := runOne(pf, core.NewMetricAware(1, 1), jobs, false)
+	if err != nil {
+		return err
+	}
+	threshold := meanQD(base)
+	opt.log("fig6: adaptive threshold = %.0f min", threshold)
+
+	half, err := runOne(pf, core.NewMetricAware(0.5, 1), jobs, false)
+	if err != nil {
+		return err
+	}
+	bfOnly, err := runOne(pf, core.NewTuner(core.PaperBFScheme(threshold)), jobs, false)
+	if err != nil {
+		return err
+	}
+	twoD, err := runOne(pf, core.NewTuner(core.PaperBFScheme(threshold), core.PaperWScheme()), jobs, false)
+	if err != nil {
+		return err
+	}
+
+	cut := pf.plotCutoff()
+	entries := []struct {
+		name string
+		res  *sim.Result
+	}{
+		{"BF=1/W=1", base},
+		{"BF=0.5/W=1", half},
+		{"BF adaptive", bfOnly},
+		{"2D adaptive", twoD},
+	}
+	var qdSeries []*stats.Series
+	for _, e := range entries {
+		s := e.res.Metrics.QD.Truncate(cut)
+		s.Name = e.name
+		qdSeries = append(qdSeries, s)
+		opt.log("fig6: %s meanQD=%.0f wait=%.1fmin", e.name, meanQD(e.res), e.res.Metrics.AvgWaitMinutes())
+	}
+
+	out := opt.out()
+	results.Chart(out, "Fig 6(a): queue depth under 2D policy tuning (log)",
+		results.ChartOptions{YLabel: "queue depth (min)", LogY: true}, qdSeries...)
+	fmt.Fprintln(out)
+	results.Chart(out, "Fig 6(b): system utilization under 2D policy tuning",
+		results.ChartOptions{YLabel: "utilization (%)"}, utilSeries(twoD.Metrics, cut)...)
+	fmt.Fprintln(out)
+
+	summary := results.NewTable("Fig 6 summary (full trace)",
+		"policy", "mean QD (min)", "max QD (min)", "avg wait (min)",
+		"stddev 10H (%)", "stddev 24H (%)")
+	for _, e := range entries {
+		m := e.res.Metrics
+		summary.Addf(e.name, meanQD(e.res), m.QD.MaxValue(), m.AvgWaitMinutes(),
+			100*stats.StdDev(m.Util10H.Values), 100*stats.StdDev(m.Util24H.Values))
+	}
+	summary.Render(out)
+	fmt.Fprintln(out)
+
+	if err := opt.writeFile("fig6a_queue_depth.csv", func(w io.Writer) error {
+		return results.SeriesCSV(w, qdSeries...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig6b_util_2d.csv", func(w io.Writer) error {
+		return results.SeriesCSV(w, utilSeries(twoD.Metrics, cut)...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig6a_queue_depth.svg", func(w io.Writer) error {
+		return results.ChartSVG(w, "Fig 6(a): queue depth under 2D tuning (log)",
+			results.ChartOptions{YLabel: "queue depth (min)", LogY: true}, qdSeries...)
+	}); err != nil {
+		return err
+	}
+	if err := opt.writeFile("fig6b_util_2d.svg", func(w io.Writer) error {
+		return results.ChartSVG(w, "Fig 6(b): utilization under 2D tuning",
+			results.ChartOptions{YLabel: "utilization (%)"}, utilSeries(twoD.Metrics, cut)...)
+	}); err != nil {
+		return err
+	}
+	return opt.writeFile("fig6_summary.csv", summary.WriteCSV)
+}

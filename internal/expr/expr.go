@@ -1,0 +1,346 @@
+// Package expr compiles small arithmetic expressions over job
+// attributes into priority functions — the mechanism behind Cobalt's
+// configurable utility functions ([21], the resource manager this
+// paper's scheduler was built into). An expression like
+//
+//	(wait/walltime)^3 * nodes
+//
+// becomes a scoring function evaluated per queued job each scheduling
+// pass; jobs are served highest-score first.
+//
+// Grammar (standard precedence; ^ is right-associative power):
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := power (('*'|'/') power)*
+//	power  := unary ('^' power)?
+//	unary  := '-' unary | atom
+//	atom   := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Variables: wait (seconds queued), walltime (requested seconds),
+// nodes (requested nodes), machine_nodes (machine size), queued
+// (current queue length), submit (submission instant, seconds).
+// Functions: log, log10, sqrt, abs, min, max, pow.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Env supplies variable values during evaluation.
+type Env map[string]float64
+
+// Expr is a compiled expression.
+type Expr struct {
+	root node
+	vars []string // variables referenced, for validation
+}
+
+// node is an expression tree node.
+type node interface {
+	eval(env Env) float64
+}
+
+// Parse compiles the expression, validating that every referenced
+// variable is one of the allowed names.
+func Parse(src string, allowed ...string) (*Expr, error) {
+	p := &parser{src: src, allowed: map[string]bool{}}
+	for _, a := range allowed {
+		p.allowed[a] = true
+	}
+	p.next()
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.lit, p.off)
+	}
+	return &Expr{root: root, vars: p.vars}, nil
+}
+
+// Eval evaluates the expression; missing variables read as 0.
+func (e *Expr) Eval(env Env) float64 {
+	v := e.root.eval(env)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Vars lists the variables the expression references.
+func (e *Expr) Vars() []string { return append([]string(nil), e.vars...) }
+
+// --- nodes ---
+
+type numNode float64
+
+func (n numNode) eval(Env) float64 { return float64(n) }
+
+type varNode string
+
+func (n varNode) eval(env Env) float64 { return env[string(n)] }
+
+type binNode struct {
+	op   byte
+	l, r node
+}
+
+func (n binNode) eval(env Env) float64 {
+	a, b := n.l.eval(env), n.r.eval(env)
+	switch n.op {
+	case '+':
+		return a + b
+	case '-':
+		return a - b
+	case '*':
+		return a * b
+	case '/':
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case '^':
+		return math.Pow(a, b)
+	}
+	return 0
+}
+
+type negNode struct{ x node }
+
+func (n negNode) eval(env Env) float64 { return -n.x.eval(env) }
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+func (n callNode) eval(env Env) float64 {
+	vals := make([]float64, len(n.args))
+	for i, a := range n.args {
+		vals[i] = a.eval(env)
+	}
+	switch n.fn {
+	case "log":
+		if vals[0] <= 0 {
+			return 0
+		}
+		return math.Log(vals[0])
+	case "log10":
+		if vals[0] <= 0 {
+			return 0
+		}
+		return math.Log10(vals[0])
+	case "sqrt":
+		if vals[0] < 0 {
+			return 0
+		}
+		return math.Sqrt(vals[0])
+	case "abs":
+		return math.Abs(vals[0])
+	case "min":
+		return math.Min(vals[0], vals[1])
+	case "max":
+		return math.Max(vals[0], vals[1])
+	case "pow":
+		return math.Pow(vals[0], vals[1])
+	}
+	return 0
+}
+
+// arity maps function names to argument counts.
+var arity = map[string]int{
+	"log": 1, "log10": 1, "sqrt": 1, "abs": 1, "min": 2, "max": 2, "pow": 2,
+}
+
+// --- parser ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type parser struct {
+	src     string
+	off     int
+	tok     tokKind
+	lit     string
+	allowed map[string]bool
+	vars    []string
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && unicode.IsSpace(rune(p.src[p.off])) {
+		p.off++
+	}
+	if p.off >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.off]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.off
+		for p.off < len(p.src) && (p.src[p.off] >= '0' && p.src[p.off] <= '9' || p.src[p.off] == '.' || p.src[p.off] == 'e' ||
+			(p.off > start && (p.src[p.off] == '+' || p.src[p.off] == '-') && p.src[p.off-1] == 'e')) {
+			p.off++
+		}
+		p.tok, p.lit = tokNum, p.src[start:p.off]
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := p.off
+		for p.off < len(p.src) && (unicode.IsLetter(rune(p.src[p.off])) || unicode.IsDigit(rune(p.src[p.off])) || p.src[p.off] == '_') {
+			p.off++
+		}
+		p.tok, p.lit = tokIdent, p.src[start:p.off]
+	case strings.ContainsRune("+-*/^", rune(c)):
+		p.tok, p.lit = tokOp, string(c)
+		p.off++
+	case c == '(':
+		p.tok, p.lit = tokLParen, "("
+		p.off++
+	case c == ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.off++
+	case c == ',':
+		p.tok, p.lit = tokComma, ","
+		p.off++
+	default:
+		p.tok, p.lit = tokOp, string(c) // surfaced as an error by callers
+		p.off++
+	}
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && (p.lit == "+" || p.lit == "-") {
+		op := p.lit[0]
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && (p.lit == "*" || p.lit == "/") {
+		op := p.lit[0]
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+// parseUnary binds unary minus looser than '^', so -2^2 is -(2^2) as in
+// conventional notation.
+func (p *parser) parseUnary() (node, error) {
+	if p.tok == tokOp && p.lit == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (node, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok == tokOp && p.lit == "^" {
+		p.next()
+		exp, err := p.parseUnary() // right-associative; exponent may be signed
+		if err != nil {
+			return nil, err
+		}
+		return binNode{op: '^', l: base, r: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	switch p.tok {
+	case tokNum:
+		v, err := strconv.ParseFloat(p.lit, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q", p.lit)
+		}
+		p.next()
+		return numNode(v), nil
+	case tokIdent:
+		name := p.lit
+		p.next()
+		if p.tok == tokLParen {
+			want, ok := arity[name]
+			if !ok {
+				return nil, fmt.Errorf("expr: unknown function %q", name)
+			}
+			p.next()
+			var args []node
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok == tokComma {
+					p.next()
+					continue
+				}
+				break
+			}
+			if p.tok != tokRParen {
+				return nil, fmt.Errorf("expr: missing ')' after %s(...)", name)
+			}
+			p.next()
+			if len(args) != want {
+				return nil, fmt.Errorf("expr: %s takes %d argument(s), got %d", name, want, len(args))
+			}
+			return callNode{fn: name, args: args}, nil
+		}
+		if len(p.allowed) > 0 && !p.allowed[name] {
+			return nil, fmt.Errorf("expr: unknown variable %q", name)
+		}
+		p.vars = append(p.vars, name)
+		return varNode(name), nil
+	case tokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("expr: missing ')'")
+		}
+		p.next()
+		return x, nil
+	default:
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.lit, p.off)
+	}
+}

@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func eval(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e.Eval(env)
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10-4-3", 3},  // left-associative
+		{"2^3^2", 512}, // right-associative
+		{"-2^2", -4},   // unary binds the power result
+		{"8/2/2", 2},
+		{"1/0", 0}, // guarded division
+		{"2*(3+4)-5", 9},
+		{"1.5e2 + .5", 150.5},
+		{"min(3, 7) + max(3, 7)", 10},
+		{"pow(2, 10)", 1024},
+		{"sqrt(81)", 9},
+		{"abs(-4.5)", 4.5},
+		{"log(1)", 0},
+		{"log10(1000)", 3},
+		{"log(-1)", 0},  // guarded
+		{"sqrt(-1)", 0}, // guarded
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src, nil); !almost(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestVariables(t *testing.T) {
+	env := Env{"wait": 100, "walltime": 400, "nodes": 8}
+	if got := eval(t, "(wait/walltime)^3 * nodes", env); !almost(got, math.Pow(0.25, 3)*8) {
+		t.Errorf("WFP expression = %v", got)
+	}
+	// Missing variables read as zero.
+	if got := eval(t, "wait + missing", Env{"wait": 5}); got != 5 {
+		t.Errorf("missing var = %v", got)
+	}
+}
+
+func TestAllowedVariables(t *testing.T) {
+	if _, err := Parse("wait + nodes", "wait", "nodes"); err != nil {
+		t.Errorf("allowed vars rejected: %v", err)
+	}
+	if _, err := Parse("wait + bogus", "wait"); err == nil {
+		t.Error("disallowed variable accepted")
+	}
+	e, err := Parse("wait*2 + nodes", "wait", "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := e.Vars()
+	if len(vars) != 2 || vars[0] != "wait" || vars[1] != "nodes" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1+", "(1", "1)", "foo(1)", "min(1)", "min(1,2,3)", "1 $ 2",
+		"..", "min(1,)", "*3",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestNaNGuards(t *testing.T) {
+	// 0^-1 = +Inf → guarded to 0 at Eval.
+	if got := eval(t, "0^(-1)", nil); got != 0 {
+		t.Errorf("inf guard = %v", got)
+	}
+}
+
+func TestEvalTotalProperty(t *testing.T) {
+	// Whatever the (valid) inputs, Eval never yields NaN/Inf.
+	f := func(wait, wall uint32, nodes uint16) bool {
+		e, err := Parse("(wait/walltime)^3*nodes + log(wait) - sqrt(nodes)")
+		if err != nil {
+			return false
+		}
+		v := e.Eval(Env{"wait": float64(wait), "walltime": float64(wall), "nodes": float64(nodes)})
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

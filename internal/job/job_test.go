@@ -1,0 +1,127 @@
+package job
+
+import (
+	"strings"
+	"testing"
+
+	"amjs/internal/units"
+)
+
+func valid() *Job {
+	return &Job{ID: 1, User: "u", Submit: 100, Nodes: 512, Walltime: 3600, Runtime: 1800}
+}
+
+func TestValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Job)
+		want   string
+	}{
+		{func(j *Job) { j.ID = 0 }, "non-positive ID"},
+		{func(j *Job) { j.Nodes = 0 }, "node request"},
+		{func(j *Job) { j.Walltime = 0 }, "walltime"},
+		{func(j *Job) { j.Runtime = 0 }, "runtime"},
+		{func(j *Job) { j.Runtime = j.Walltime + 1 }, "exceeds walltime"},
+		{func(j *Job) { j.Submit = -5 }, "negative submit"},
+	}
+	for _, c := range cases {
+		j := valid()
+		c.mutate(j)
+		err := j.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+func TestTimings(t *testing.T) {
+	j := valid()
+	j.Start = 400
+	j.End = j.Start.Add(j.Runtime)
+	if got := j.Wait(); got != 300 {
+		t.Errorf("Wait = %v", got)
+	}
+	if got := j.WaitAt(250); got != 150 {
+		t.Errorf("WaitAt = %v", got)
+	}
+	if got := j.Turnaround(); got != 300+1800 {
+		t.Errorf("Turnaround = %v", got)
+	}
+	if got := j.NodeSeconds(); got != 512*1800 {
+		t.Errorf("NodeSeconds = %v", got)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	j := valid()
+	j.Start = j.Submit.Add(1800) // wait 1800, runtime 1800 → slowdown 2
+	if got := j.Slowdown(1); got != 2 {
+		t.Errorf("Slowdown = %v, want 2", got)
+	}
+	// Bounded: short job, tau dominates.
+	j.Runtime = 10
+	j.Start = j.Submit.Add(90)
+	if got := j.Slowdown(100); got != 1 {
+		t.Errorf("bounded Slowdown = %v, want 1", got)
+	}
+	j.Runtime = 0
+	if got := j.Slowdown(0); got != 0 {
+		t.Errorf("degenerate Slowdown = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	j := valid()
+	c := j.Clone()
+	c.Start = 999
+	c.State = Running
+	if j.Start == 999 || j.State == Running {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestCloneAllAndByID(t *testing.T) {
+	a, b := valid(), valid()
+	b.ID = 2
+	clones := CloneAll([]*Job{a, b})
+	if len(clones) != 2 || clones[0] == a || clones[1] == b {
+		t.Fatal("CloneAll did not copy")
+	}
+	clones[0].Nodes = 7
+	if a.Nodes == 7 {
+		t.Error("CloneAll clone aliases original")
+	}
+	m := ByID([]*Job{a, b})
+	if m[1] != a || m[2] != b {
+		t.Error("ByID wrong")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		Submitted: "submitted", Queued: "queued", Running: "running",
+		Finished: "finished", Killed: "killed", State(42): "state(42)",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestJobString(t *testing.T) {
+	j := valid()
+	s := j.String()
+	for _, frag := range []string{"job 1", "nodes=512", "queued"} {
+		if frag == "queued" {
+			j.State = Queued
+			s = j.String()
+		}
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	_ = units.Time(0)
+}

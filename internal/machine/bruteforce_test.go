@@ -1,0 +1,237 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amjs/internal/units"
+)
+
+// bruteEarliest finds the earliest feasible start by scanning every
+// second — the oracle the plans' profile/interval algorithms must
+// match on small cases.
+func bruteEarliest(canPlace func(t units.Time) bool, now units.Time, horizon units.Time) (units.Time, bool) {
+	for t := now; t <= horizon; t++ {
+		if canPlace(t) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// TestFlatPlanMatchesBruteForce compares flatPlan.EarliestStart against
+// second-by-second scanning on randomized small machines, with and
+// without commitments.
+func TestFlatPlanMatchesBruteForce(t *testing.T) {
+	f := func(running []uint8, commits []uint8, reqNodes, reqWall uint8) bool {
+		const total = 16
+		m := NewFlat(total)
+		now := units.Time(10)
+		if len(running) > 6 {
+			running = running[:6]
+		}
+		if len(commits) > 4 {
+			commits = commits[:4]
+		}
+		type span struct {
+			nodes int
+			from  units.Time
+			to    units.Time
+		}
+		var spans []span
+		for i, r := range running {
+			nodes := 1 + int(r)%total
+			wall := units.Duration(1 + r%50)
+			if _, ok := m.TryStart(i, nodes, now, wall); ok {
+				spans = append(spans, span{nodes, now, now.Add(wall)})
+			}
+		}
+		plan := m.Plan(now)
+		for _, c := range commits {
+			nodes := 1 + int(c)%total
+			wall := units.Duration(1 + c%40)
+			ts, hint := plan.EarliestStart(nodes, wall)
+			plan.Commit(nodes, ts, wall, hint)
+			spans = append(spans, span{nodes, ts, ts.Add(wall)})
+		}
+
+		nodes := 1 + int(reqNodes)%total
+		wall := units.Duration(1 + reqWall%40)
+		got, _ := plan.EarliestStart(nodes, wall)
+
+		canPlace := func(at units.Time) bool {
+			for dt := units.Time(0); dt < units.Time(wall); dt++ {
+				used := 0
+				for _, s := range spans {
+					if s.from <= at+dt && at+dt < s.to {
+						used += s.nodes
+					}
+				}
+				if used+nodes > total {
+					return false
+				}
+			}
+			return true
+		}
+		want, ok := bruteEarliest(canPlace, now, now+300)
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionPlanMatchesBruteForce does the same for the partitioned
+// machine: the oracle re-checks feasibility per aligned block per
+// second.
+func TestPartitionPlanMatchesBruteForce(t *testing.T) {
+	f := func(running []uint8, commits []uint8, reqNodes, reqWall uint8) bool {
+		m := NewPartition(4, 8) // 32 nodes, blocks of 1/2/4 midplanes
+		now := units.Time(5)
+		if len(running) > 5 {
+			running = running[:5]
+		}
+		if len(commits) > 3 {
+			commits = commits[:3]
+		}
+		type span struct {
+			start int // first midplane
+			width int
+			from  units.Time
+			to    units.Time
+		}
+		var spans []span
+		for i, r := range running {
+			nodes := 1 + int(r)%m.TotalNodes()
+			wall := units.Duration(1 + r%40)
+			if a, ok := m.TryStart(i, nodes, now, wall); ok {
+				al := m.allocs[a]
+				spans = append(spans, span{al.start, al.width, now, now.Add(wall)})
+			}
+		}
+		plan := m.Plan(now)
+		for _, c := range commits {
+			nodes := 1 + int(c)%m.TotalNodes()
+			wall := units.Duration(1 + c%30)
+			ts, hint := plan.EarliestStart(nodes, wall)
+			plan.Commit(nodes, ts, wall, hint)
+			width := m.BlockMidplanes(nodes)
+			spans = append(spans, span{hint, width, ts, ts.Add(wall)})
+		}
+
+		nodes := 1 + int(reqNodes)%m.TotalNodes()
+		wall := units.Duration(1 + reqWall%30)
+		got, _ := plan.EarliestStart(nodes, wall)
+
+		width := m.BlockMidplanes(nodes)
+		mpBusy := func(mp int, at units.Time) bool {
+			for _, s := range spans {
+				if mp >= s.start && mp < s.start+s.width && s.from <= at && at < s.to {
+					return true
+				}
+			}
+			return false
+		}
+		canPlace := func(at units.Time) bool {
+			for bs := 0; bs+width <= m.Midplanes(); bs += width {
+				free := true
+				for mp := bs; mp < bs+width && free; mp++ {
+					for dt := units.Time(0); dt < units.Time(wall); dt++ {
+						if mpBusy(mp, at+dt) {
+							free = false
+							break
+						}
+					}
+				}
+				if free {
+					return true
+				}
+			}
+			return false
+		}
+		want, ok := bruteEarliest(canPlace, now, now+200)
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTorusPlanMatchesBruteForce extends the oracle comparison to the
+// 3-D torus: feasibility is re-derived per cuboid placement per second.
+func TestTorusPlanMatchesBruteForce(t *testing.T) {
+	f := func(running []uint8, commits []uint8, reqNodes, reqWall uint8) bool {
+		tr := NewTorus(2, 2, 2, 4) // 32 nodes, cells of 4
+		now := units.Time(5)
+		if len(running) > 4 {
+			running = running[:4]
+		}
+		if len(commits) > 2 {
+			commits = commits[:2]
+		}
+		type span struct {
+			cells []int
+			from  units.Time
+			to    units.Time
+		}
+		var spans []span
+		for i, r := range running {
+			nodes := 1 + int(r)%tr.TotalNodes()
+			wall := units.Duration(1 + r%30)
+			if a, ok := tr.TryStart(i, nodes, now, wall); ok {
+				spans = append(spans, span{tr.allocs[a].cells, now, now.Add(wall)})
+			}
+		}
+		plan := tr.Plan(now)
+		for _, c := range commits {
+			nodes := 1 + int(c)%tr.TotalNodes()
+			wall := units.Duration(1 + c%20)
+			ts, hint := plan.EarliestStart(nodes, wall)
+			plan.Commit(nodes, ts, wall, hint)
+			spans = append(spans, span{tr.decodeHint(nodes, hint), ts, ts.Add(wall)})
+		}
+
+		nodes := 1 + int(reqNodes)%tr.TotalNodes()
+		wall := units.Duration(1 + reqWall%20)
+		got, _ := plan.EarliestStart(nodes, wall)
+
+		cellBusy := func(cell int, at units.Time) bool {
+			for _, s := range spans {
+				for _, c := range s.cells {
+					if c == cell && s.from <= at && at < s.to {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		canPlace := func(at units.Time) bool {
+			found := false
+			tr.placements(nodes, func(_ int, cells []int) bool {
+				ok := true
+				for _, c := range cells {
+					for dt := units.Time(0); dt < units.Time(wall); dt++ {
+						if cellBusy(c, at+dt) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						break
+					}
+				}
+				if ok {
+					found = true
+					return false
+				}
+				return true
+			})
+			return found
+		}
+		want, ok := bruteEarliest(canPlace, now, now+150)
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

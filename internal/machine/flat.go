@@ -1,0 +1,247 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"amjs/internal/units"
+)
+
+// Flat is a malleable pool of identical nodes with no placement
+// constraints: any request that fits the idle count can start.
+type Flat struct {
+	total  int
+	nextID Alloc
+	allocs map[Alloc]flatAlloc
+	busy   int
+	used   int
+}
+
+type flatAlloc struct {
+	jobID  int
+	nodes  int
+	expEnd units.Time // walltime-based end estimate
+}
+
+// NewFlat returns a flat machine with the given node count.
+func NewFlat(total int) *Flat {
+	if total <= 0 {
+		panic("machine: flat machine needs a positive node count")
+	}
+	return &Flat{total: total, allocs: make(map[Alloc]flatAlloc)}
+}
+
+// Name implements Machine.
+func (f *Flat) Name() string { return fmt.Sprintf("flat-%d", f.total) }
+
+// TotalNodes implements Machine.
+func (f *Flat) TotalNodes() int { return f.total }
+
+// IdleNodes implements Machine.
+func (f *Flat) IdleNodes() int { return f.total - f.busy }
+
+// BusyNodes implements Machine.
+func (f *Flat) BusyNodes() int { return f.busy }
+
+// UsedNodes implements Machine. On a flat machine every allocated node
+// was requested, so this equals BusyNodes.
+func (f *Flat) UsedNodes() int { return f.used }
+
+// RunningCount implements Machine.
+func (f *Flat) RunningCount() int { return len(f.allocs) }
+
+// CanFitEver implements Machine.
+func (f *Flat) CanFitEver(nodes int) bool { return nodes > 0 && nodes <= f.total }
+
+// CanStartNow implements Machine.
+func (f *Flat) CanStartNow(nodes int) bool { return nodes > 0 && nodes <= f.IdleNodes() }
+
+// TryStart implements Machine.
+func (f *Flat) TryStart(jobID, nodes int, now units.Time, walltime units.Duration) (Alloc, bool) {
+	if !f.CanStartNow(nodes) {
+		return NoAlloc, false
+	}
+	f.nextID++
+	f.allocs[f.nextID] = flatAlloc{jobID: jobID, nodes: nodes, expEnd: now.Add(walltime)}
+	f.busy += nodes
+	f.used += nodes
+	return f.nextID, true
+}
+
+// TryStartAt implements Machine; placement hints are meaningless on a
+// flat machine, so it defers to TryStart.
+func (f *Flat) TryStartAt(jobID, nodes int, now units.Time, walltime units.Duration, _ int) (Alloc, bool) {
+	return f.TryStart(jobID, nodes, now, walltime)
+}
+
+// Release implements Machine.
+func (f *Flat) Release(a Alloc, _ units.Time) {
+	al, ok := f.allocs[a]
+	if !ok {
+		panic(fmt.Sprintf("machine: release of unknown allocation %d", a))
+	}
+	delete(f.allocs, a)
+	f.busy -= al.nodes
+	f.used -= al.nodes
+}
+
+// Clone implements Machine.
+func (f *Flat) Clone() Machine {
+	c := &Flat{total: f.total, nextID: f.nextID, busy: f.busy, used: f.used,
+		allocs: make(map[Alloc]flatAlloc, len(f.allocs))}
+	for k, v := range f.allocs {
+		c.allocs[k] = v
+	}
+	return c
+}
+
+// Plan implements Machine: the classic availability profile over time.
+func (f *Flat) Plan(now units.Time) Plan {
+	ends := make([]units.Time, 0, len(f.allocs))
+	byEnd := make(map[units.Time]int)
+	for _, al := range f.allocs {
+		e := al.expEnd
+		if e < now {
+			// A job at its walltime limit is released at exactly
+			// start+walltime; an estimate in the past means it is being
+			// processed this instant — treat the nodes as freeing now.
+			e = now
+		}
+		if _, seen := byEnd[e]; !seen {
+			ends = append(ends, e)
+		}
+		byEnd[e] += al.nodes
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	p := &flatPlan{now: now}
+	p.times = append(p.times, now)
+	p.avail = append(p.avail, f.IdleNodes())
+	cur := f.IdleNodes()
+	for _, e := range ends {
+		cur += byEnd[e]
+		if e == now {
+			p.avail[0] = cur
+			continue
+		}
+		p.times = append(p.times, e)
+		p.avail = append(p.avail, cur)
+	}
+	return p
+}
+
+// flatPlan is a step function of available nodes over time. avail[i]
+// holds over [times[i], times[i+1]) and avail[len-1] holds forever.
+type flatPlan struct {
+	now   units.Time
+	times []units.Time
+	avail []int
+}
+
+// Now implements Plan.
+func (p *flatPlan) Now() units.Time { return p.now }
+
+// Clone implements Plan.
+func (p *flatPlan) Clone() Plan {
+	return &flatPlan{
+		now:   p.now,
+		times: append([]units.Time(nil), p.times...),
+		avail: append([]int(nil), p.avail...),
+	}
+}
+
+// EarliestStart implements Plan.
+func (p *flatPlan) EarliestStart(nodes int, walltime units.Duration) (units.Time, int) {
+	if nodes <= 0 || walltime <= 0 {
+		return p.now, 0
+	}
+	maxAvail := 0
+	for _, a := range p.avail {
+		if a > maxAvail {
+			maxAvail = a
+		}
+	}
+	if nodes > maxAvail {
+		return units.Forever, -1
+	}
+	for i := range p.times {
+		if p.avail[i] < nodes {
+			continue
+		}
+		t := p.times[i]
+		if p.feasible(nodes, t, walltime) {
+			return t, 0
+		}
+	}
+	return units.Forever, -1
+}
+
+// feasible reports whether avail >= nodes over [t, t+walltime).
+func (p *flatPlan) feasible(nodes int, t units.Time, walltime units.Duration) bool {
+	end := t.Add(walltime)
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(p.times); i++ {
+		if p.times[i] >= end {
+			break
+		}
+		segEnd := units.Forever
+		if i+1 < len(p.times) {
+			segEnd = p.times[i+1]
+		}
+		if segEnd <= t {
+			continue
+		}
+		if p.avail[i] < nodes {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit implements Plan.
+func (p *flatPlan) Commit(nodes int, start units.Time, walltime units.Duration, _ int) {
+	if nodes <= 0 || walltime <= 0 {
+		return
+	}
+	if start < p.now {
+		panic("machine: flat plan commit before now")
+	}
+	if !p.feasible(nodes, start, walltime) {
+		panic("machine: infeasible flat plan commitment")
+	}
+	end := start.Add(walltime)
+	p.insertBreak(start)
+	p.insertBreak(end)
+	for i := range p.times {
+		if p.times[i] >= start && p.times[i] < end {
+			p.avail[i] -= nodes
+		}
+	}
+}
+
+// insertBreak ensures a breakpoint exists at t, copying the value of the
+// segment containing t.
+func (p *flatPlan) insertBreak(t units.Time) {
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] >= t })
+	if i < len(p.times) && p.times[i] == t {
+		return
+	}
+	if i == len(p.times) {
+		p.times = append(p.times, t)
+		p.avail = append(p.avail, p.avail[len(p.avail)-1])
+		return
+	}
+	val := p.avail[0]
+	if i > 0 {
+		val = p.avail[i-1]
+	}
+	p.times = append(p.times, 0)
+	copy(p.times[i+1:], p.times[i:])
+	p.times[i] = t
+	p.avail = append(p.avail, 0)
+	copy(p.avail[i+1:], p.avail[i:])
+	p.avail[i] = val
+}

@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"testing"
+
+	"amjs/internal/units"
+)
+
+func TestFlatBasics(t *testing.T) {
+	f := NewFlat(100)
+	if f.Name() != "flat-100" || f.TotalNodes() != 100 || f.IdleNodes() != 100 {
+		t.Fatalf("fresh flat machine wrong: %s %d %d", f.Name(), f.TotalNodes(), f.IdleNodes())
+	}
+	if !f.CanFitEver(100) || f.CanFitEver(101) || f.CanFitEver(0) {
+		t.Error("CanFitEver wrong")
+	}
+	a1, ok := f.TryStart(1, 60, 0, 100)
+	if !ok || f.BusyNodes() != 60 || f.IdleNodes() != 40 || f.UsedNodes() != 60 {
+		t.Fatalf("TryStart bookkeeping wrong: %v busy=%d", ok, f.BusyNodes())
+	}
+	if _, ok := f.TryStart(2, 41, 0, 100); ok {
+		t.Error("oversubscribed start accepted")
+	}
+	if !f.CanStartNow(40) || f.CanStartNow(41) {
+		t.Error("CanStartNow wrong")
+	}
+	a2, ok := f.TryStart(2, 40, 0, 50)
+	if !ok || f.RunningCount() != 2 {
+		t.Fatal("second start failed")
+	}
+	f.Release(a2, 50)
+	if f.IdleNodes() != 40 || f.RunningCount() != 1 {
+		t.Error("release bookkeeping wrong")
+	}
+	f.Release(a1, 100)
+	if f.BusyNodes() != 0 || f.UsedNodes() != 0 {
+		t.Error("machine not drained")
+	}
+}
+
+func TestFlatReleaseUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("release of unknown alloc did not panic")
+		}
+	}()
+	NewFlat(10).Release(Alloc(99), 0)
+}
+
+func TestNewFlatPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFlat(0) did not panic")
+		}
+	}()
+	NewFlat(0)
+}
+
+func TestFlatPlanEarliestStart(t *testing.T) {
+	f := NewFlat(100)
+	// Job A: 60 nodes until t=100. Job B: 30 nodes until t=50.
+	f.TryStart(1, 60, 0, 100)
+	f.TryStart(2, 30, 0, 50)
+	p := f.Plan(0)
+
+	if ts, _ := p.EarliestStart(10, 1000); ts != 0 {
+		t.Errorf("10 nodes: start %v, want 0", ts)
+	}
+	if ts, _ := p.EarliestStart(40, 1000); ts != 50 {
+		t.Errorf("40 nodes: start %v, want 50", ts)
+	}
+	if ts, _ := p.EarliestStart(90, 1000); ts != 100 {
+		t.Errorf("90 nodes: start %v, want 100", ts)
+	}
+	if ts, hint := p.EarliestStart(101, 1000); ts != units.Forever || hint != -1 {
+		t.Errorf("impossible request: got %v,%d", ts, hint)
+	}
+}
+
+func TestFlatPlanCommitBlocks(t *testing.T) {
+	f := NewFlat(100)
+	f.TryStart(1, 60, 0, 100) // frees at 100
+	p := f.Plan(0)
+	// Reserve 80 nodes at t=100 for 200s.
+	ts, hint := p.EarliestStart(80, 200)
+	if ts != 100 {
+		t.Fatalf("reservation start %v, want 100", ts)
+	}
+	p.Commit(80, ts, 200, hint)
+	// A 40-node backfill for 100s must fit *now* (ends at 100, before the
+	// reservation).
+	if ts, _ := p.EarliestStart(40, 100); ts != 0 {
+		t.Errorf("shadow-respecting backfill start %v, want 0", ts)
+	}
+	// A 40-node job for 150s would collide with the reservation: only 20
+	// nodes are spare under the 80-node reservation after t=100.
+	if ts, _ := p.EarliestStart(40, 150); ts != 300 {
+		t.Errorf("colliding backfill start %v, want 300", ts)
+	}
+	// A 20-node job of any length fits now under the reservation.
+	if ts, _ := p.EarliestStart(20, 10000); ts != 0 {
+		t.Errorf("extra-node backfill start %v, want 0", ts)
+	}
+}
+
+func TestFlatPlanCommitInfeasiblePanics(t *testing.T) {
+	f := NewFlat(10)
+	f.TryStart(1, 10, 0, 100)
+	p := f.Plan(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("infeasible commit did not panic")
+		}
+	}()
+	p.Commit(5, 0, 10, 0)
+}
+
+func TestFlatPlanCloneIndependent(t *testing.T) {
+	f := NewFlat(100)
+	f.TryStart(1, 50, 0, 100)
+	p := f.Plan(0)
+	c := p.Clone()
+	c.Commit(50, 0, 100, 0)
+	if ts, _ := p.EarliestStart(50, 10); ts != 0 {
+		t.Error("clone commit leaked into original plan")
+	}
+	if ts, _ := c.EarliestStart(50, 10); ts == 0 {
+		t.Error("clone commit had no effect")
+	}
+}
+
+func TestFlatCloneIndependent(t *testing.T) {
+	f := NewFlat(100)
+	a, _ := f.TryStart(1, 50, 0, 100)
+	c := f.Clone().(*Flat)
+	c.Release(a, 10)
+	if f.IdleNodes() != 50 {
+		t.Error("clone release affected original")
+	}
+	if _, ok := c.TryStart(2, 100, 10, 5); !ok {
+		t.Error("clone did not free nodes")
+	}
+}
+
+func TestFlatPlanExpiredEstimates(t *testing.T) {
+	f := NewFlat(10)
+	f.TryStart(1, 10, 0, 100)
+	// Plan taken exactly at the walltime limit: nodes count as freeing now.
+	p := f.Plan(100)
+	if ts, _ := p.EarliestStart(10, 10); ts != 100 {
+		t.Errorf("expired estimate: start %v, want 100", ts)
+	}
+}

@@ -1,0 +1,131 @@
+// Package machine models the compute resource a scheduler allocates
+// jobs onto.
+//
+// Two models are provided:
+//
+//   - Flat: a malleable pool of nodes with no placement constraints.
+//     Any set of idle nodes satisfies any request that fits, so external
+//     fragmentation cannot occur (only reservation draining can idle
+//     nodes).
+//
+//   - Partition: a Blue Gene/P-style machine built from midplanes, on
+//     which jobs run in contiguous, aligned, power-of-two partitions
+//     (plus the full-system partition). Aligned contiguous allocation is
+//     what produces the external fragmentation — and hence the loss of
+//     capacity — that the paper's window-based allocation attacks.
+//
+// Both models expose a Plan: an isolated what-if view of future
+// availability (running jobs are assumed to end at their walltime
+// limits) into which schedulers commit tentative placements. Plans are
+// the single mechanism behind backfill legality checks, reservations,
+// and the window allocator's permutation search.
+package machine
+
+import (
+	"amjs/internal/units"
+)
+
+// Alloc is an opaque handle to a live allocation on a Machine.
+type Alloc int64
+
+// NoAlloc is the zero, invalid allocation handle.
+const NoAlloc Alloc = 0
+
+// Machine is a compute resource that can start and release jobs and
+// answer what-if planning queries.
+type Machine interface {
+	// Name identifies the model, e.g. "flat-1024" or "partition-80x512".
+	Name() string
+
+	// TotalNodes is the machine's full node count.
+	TotalNodes() int
+
+	// IdleNodes is the number of nodes not occupied by any allocation.
+	IdleNodes() int
+
+	// BusyNodes is the number of nodes occupied by allocations (for a
+	// partitioned machine this counts whole partitions, including any
+	// internal fragmentation within them).
+	BusyNodes() int
+
+	// UsedNodes is the number of nodes actually requested by the jobs
+	// currently running (excludes internal fragmentation).
+	UsedNodes() int
+
+	// RunningCount is the number of live allocations.
+	RunningCount() int
+
+	// CanFitEver reports whether a request of the given size could ever
+	// be satisfied on an empty machine.
+	CanFitEver(nodes int) bool
+
+	// CanStartNow reports whether a request of the given size could be
+	// started immediately (placement constraints included).
+	CanStartNow(nodes int) bool
+
+	// TryStart attempts to start a job now using the machine's default
+	// (first-fit) placement. walltime is the scheduler-visible runtime
+	// bound, recorded so that plans can predict when the nodes free up.
+	TryStart(jobID, nodes int, now units.Time, walltime units.Duration) (Alloc, bool)
+
+	// TryStartAt is TryStart with an explicit placement hint previously
+	// obtained from a Plan, so that executions land exactly where the
+	// plan assumed (critical when reservations are outstanding).
+	TryStartAt(jobID, nodes int, now units.Time, walltime units.Duration, hint int) (Alloc, bool)
+
+	// Release frees an allocation. It panics on an unknown handle: that
+	// is a simulator bookkeeping bug, not an input error.
+	Release(a Alloc, now units.Time)
+
+	// Plan returns a fresh what-if planner seeded with the current
+	// allocations' walltime-based end estimates.
+	Plan(now units.Time) Plan
+
+	// Clone returns an independent deep copy of the machine.
+	Clone() Machine
+}
+
+// Plan is an isolated view of future availability. EarliestStart and
+// Commit let schedulers build tentative schedules (reservations, window
+// permutations, backfill checks) without touching the machine.
+//
+// A Plan is valid for a single scheduling pass at the instant it was
+// created; it must be re-obtained after simulated time advances.
+type Plan interface {
+	// Now is the instant the plan was created.
+	Now() units.Time
+
+	// EarliestStart returns the earliest t >= Now() at which a job of
+	// the given size could run for walltime without displacing running
+	// jobs or prior commitments, together with a placement hint to pass
+	// to Commit or Machine.TryStartAt. When the request can never fit it
+	// returns (units.Forever, -1).
+	EarliestStart(nodes int, walltime units.Duration) (units.Time, int)
+
+	// Commit reserves the placement returned by EarliestStart. Both the
+	// start and the hint must come from EarliestStart with the same
+	// size and walltime; committing an infeasible placement panics.
+	Commit(nodes int, start units.Time, walltime units.Duration, hint int)
+
+	// Clone returns an independent copy (used to evaluate alternative
+	// window permutations against the same baseline).
+	Clone() Plan
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// prevPow2 returns the largest power of two <= n (n >= 1).
+func prevPow2(n int) int {
+	p := 1
+	for p<<1 <= n {
+		p <<= 1
+	}
+	return p
+}

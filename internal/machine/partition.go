@@ -1,0 +1,357 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"amjs/internal/units"
+)
+
+// Partition models a Blue Gene/P-class machine: a row of midplanes on
+// which jobs run in contiguous, aligned partitions whose sizes are
+// powers of two (in midplanes), plus the special full-system partition.
+// A request is rounded up to the smallest partition that holds it, so a
+// 600-node job on a 512-node-midplane machine occupies a 1024-node
+// (2-midplane) partition.
+//
+// Alignment and contiguity are what make external fragmentation
+// possible: idle midplanes that do not form an aligned block cannot
+// serve a larger request even when their total count would suffice.
+type Partition struct {
+	midplanes int // number of midplanes
+	perMP     int // nodes per midplane
+	maxPow2   int // largest power-of-two block size <= midplanes
+
+	nextID Alloc
+	busy   []bool // per-midplane occupancy
+	allocs map[Alloc]partAlloc
+	used   int // sum of requested node counts of running jobs
+}
+
+type partAlloc struct {
+	jobID  int
+	nodes  int // requested nodes
+	start  int // first midplane
+	width  int // midplanes occupied
+	expEnd units.Time
+}
+
+// NewPartition returns a partitioned machine with the given number of
+// midplanes and nodes per midplane. Intrepid is NewPartition(80, 512).
+func NewPartition(midplanes, perMP int) *Partition {
+	if midplanes <= 0 || perMP <= 0 {
+		panic("machine: partition machine needs positive dimensions")
+	}
+	return &Partition{
+		midplanes: midplanes,
+		perMP:     perMP,
+		maxPow2:   prevPow2(midplanes),
+		busy:      make([]bool, midplanes),
+		allocs:    make(map[Alloc]partAlloc),
+	}
+}
+
+// NewIntrepid returns the machine model of the paper's evaluation
+// platform: the Intrepid Blue Gene/P, 80 midplanes of 512 nodes
+// (40,960 nodes).
+func NewIntrepid() *Partition { return NewPartition(80, 512) }
+
+// Name implements Machine.
+func (p *Partition) Name() string {
+	return fmt.Sprintf("partition-%dx%d", p.midplanes, p.perMP)
+}
+
+// TotalNodes implements Machine.
+func (p *Partition) TotalNodes() int { return p.midplanes * p.perMP }
+
+// NodesPerMidplane returns the midplane granularity.
+func (p *Partition) NodesPerMidplane() int { return p.perMP }
+
+// Midplanes returns the midplane count.
+func (p *Partition) Midplanes() int { return p.midplanes }
+
+// BusyNodes implements Machine (whole occupied partitions).
+func (p *Partition) BusyNodes() int {
+	n := 0
+	for _, b := range p.busy {
+		if b {
+			n++
+		}
+	}
+	return n * p.perMP
+}
+
+// IdleNodes implements Machine.
+func (p *Partition) IdleNodes() int { return p.TotalNodes() - p.BusyNodes() }
+
+// UsedNodes implements Machine (requested nodes only).
+func (p *Partition) UsedNodes() int { return p.used }
+
+// RunningCount implements Machine.
+func (p *Partition) RunningCount() int { return len(p.allocs) }
+
+// BlockMidplanes returns the width in midplanes of the partition that
+// would serve a request of the given node count, or -1 when the request
+// can never fit.
+func (p *Partition) BlockMidplanes(nodes int) int {
+	if nodes <= 0 || nodes > p.TotalNodes() {
+		return -1
+	}
+	m := (nodes + p.perMP - 1) / p.perMP
+	if m <= p.maxPow2 {
+		return nextPow2(m)
+	}
+	return p.midplanes // full-system partition
+}
+
+// PartitionNodes returns the node count of the partition serving the
+// request (the request rounded up to partition granularity), or -1.
+func (p *Partition) PartitionNodes(nodes int) int {
+	w := p.BlockMidplanes(nodes)
+	if w < 0 {
+		return -1
+	}
+	return w * p.perMP
+}
+
+// CanFitEver implements Machine.
+func (p *Partition) CanFitEver(nodes int) bool { return p.BlockMidplanes(nodes) > 0 }
+
+// alignedStarts calls f with each aligned candidate start midplane for a
+// block of the given width, in increasing order, until f returns false.
+func (p *Partition) alignedStarts(width int, f func(start int) bool) {
+	for s := 0; s+width <= p.midplanes; s += width {
+		if !f(s) {
+			return
+		}
+	}
+}
+
+// blockFreeNow reports whether midplanes [start, start+width) are all idle.
+func (p *Partition) blockFreeNow(start, width int) bool {
+	for i := start; i < start+width; i++ {
+		if p.busy[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CanStartNow implements Machine.
+func (p *Partition) CanStartNow(nodes int) bool {
+	width := p.BlockMidplanes(nodes)
+	if width < 0 {
+		return false
+	}
+	ok := false
+	p.alignedStarts(width, func(s int) bool {
+		if p.blockFreeNow(s, width) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// TryStart implements Machine with first-fit placement over aligned
+// blocks.
+func (p *Partition) TryStart(jobID, nodes int, now units.Time, walltime units.Duration) (Alloc, bool) {
+	width := p.BlockMidplanes(nodes)
+	if width < 0 {
+		return NoAlloc, false
+	}
+	hint := -1
+	p.alignedStarts(width, func(s int) bool {
+		if p.blockFreeNow(s, width) {
+			hint = s
+			return false
+		}
+		return true
+	})
+	if hint < 0 {
+		return NoAlloc, false
+	}
+	return p.TryStartAt(jobID, nodes, now, walltime, hint)
+}
+
+// TryStartAt implements Machine, placing the job at the given start
+// midplane if that aligned block is free.
+func (p *Partition) TryStartAt(jobID, nodes int, now units.Time, walltime units.Duration, hint int) (Alloc, bool) {
+	width := p.BlockMidplanes(nodes)
+	if width < 0 || hint < 0 || hint%width != 0 || hint+width > p.midplanes {
+		return NoAlloc, false
+	}
+	if !p.blockFreeNow(hint, width) {
+		return NoAlloc, false
+	}
+	for i := hint; i < hint+width; i++ {
+		p.busy[i] = true
+	}
+	p.nextID++
+	p.allocs[p.nextID] = partAlloc{
+		jobID: jobID, nodes: nodes, start: hint, width: width,
+		expEnd: now.Add(walltime),
+	}
+	p.used += nodes
+	return p.nextID, true
+}
+
+// Release implements Machine.
+func (p *Partition) Release(a Alloc, _ units.Time) {
+	al, ok := p.allocs[a]
+	if !ok {
+		panic(fmt.Sprintf("machine: release of unknown allocation %d", a))
+	}
+	for i := al.start; i < al.start+al.width; i++ {
+		p.busy[i] = false
+	}
+	p.used -= al.nodes
+	delete(p.allocs, a)
+}
+
+// Clone implements Machine.
+func (p *Partition) Clone() Machine {
+	c := &Partition{
+		midplanes: p.midplanes, perMP: p.perMP, maxPow2: p.maxPow2,
+		nextID: p.nextID, used: p.used,
+		busy:   append([]bool(nil), p.busy...),
+		allocs: make(map[Alloc]partAlloc, len(p.allocs)),
+	}
+	for k, v := range p.allocs {
+		c.allocs[k] = v
+	}
+	return c
+}
+
+// Plan implements Machine: per-midplane busy-interval timelines.
+func (p *Partition) Plan(now units.Time) Plan {
+	pl := &partPlan{now: now, m: p, busy: make([][]ival, p.midplanes)}
+	for _, al := range p.allocs {
+		end := al.expEnd
+		if end < now {
+			end = now
+		}
+		if end == now {
+			continue // freeing this instant; treat as idle for planning
+		}
+		for i := al.start; i < al.start+al.width; i++ {
+			pl.busy[i] = append(pl.busy[i], ival{from: now, to: end})
+		}
+	}
+	for i := range pl.busy {
+		sort.Slice(pl.busy[i], func(a, b int) bool { return pl.busy[i][a].from < pl.busy[i][b].from })
+	}
+	return pl
+}
+
+// ival is a half-open busy interval [from, to).
+type ival struct {
+	from, to units.Time
+}
+
+// partPlan is the partition machine's what-if planner: a sorted busy
+// timeline per midplane.
+type partPlan struct {
+	now  units.Time
+	m    *Partition
+	busy [][]ival
+}
+
+// Now implements Plan.
+func (pl *partPlan) Now() units.Time { return pl.now }
+
+// Clone implements Plan.
+func (pl *partPlan) Clone() Plan {
+	c := &partPlan{now: pl.now, m: pl.m, busy: make([][]ival, len(pl.busy))}
+	for i := range pl.busy {
+		c.busy[i] = append([]ival(nil), pl.busy[i]...)
+	}
+	return c
+}
+
+// midplaneFree reports whether midplane i is free over [t, t+d).
+func (pl *partPlan) midplaneFree(i int, t units.Time, d units.Duration) bool {
+	end := t.Add(d)
+	for _, iv := range pl.busy[i] {
+		if iv.from < end && t < iv.to {
+			return false
+		}
+	}
+	return true
+}
+
+// blockFree reports whether the aligned block [start, start+width) is
+// free over [t, t+d).
+func (pl *partPlan) blockFree(start, width int, t units.Time, d units.Duration) bool {
+	for i := start; i < start+width; i++ {
+		if !pl.midplaneFree(i, t, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// earliestForBlock returns the earliest t >= now at which the block is
+// free for the duration. It repeatedly jumps the candidate start to the
+// latest end among currently conflicting intervals: a window starting
+// before a conflicting interval's end still overlaps that interval, so
+// every conflicting end is a lower bound on the feasible start. Each
+// jump passes at least one interval end, so the loop terminates.
+func (pl *partPlan) earliestForBlock(start, width int, d units.Duration) units.Time {
+	t := pl.now
+	for {
+		conflictEnd := units.Time(-1)
+		windowEnd := t.Add(d)
+		for i := start; i < start+width; i++ {
+			for _, iv := range pl.busy[i] {
+				if iv.from < windowEnd && t < iv.to && iv.to > conflictEnd {
+					conflictEnd = iv.to
+				}
+			}
+		}
+		if conflictEnd < 0 {
+			return t
+		}
+		t = conflictEnd
+	}
+}
+
+// EarliestStart implements Plan. The hint is the start midplane of the
+// chosen block.
+func (pl *partPlan) EarliestStart(nodes int, walltime units.Duration) (units.Time, int) {
+	width := pl.m.BlockMidplanes(nodes)
+	if width < 0 || walltime <= 0 {
+		return units.Forever, -1
+	}
+	best := units.Forever
+	hint := -1
+	pl.m.alignedStarts(width, func(s int) bool {
+		t := pl.earliestForBlock(s, width, walltime)
+		if t < best {
+			best, hint = t, s
+		}
+		return best != pl.now // stop early on an immediate fit
+	})
+	return best, hint
+}
+
+// Commit implements Plan.
+func (pl *partPlan) Commit(nodes int, start units.Time, walltime units.Duration, hint int) {
+	width := pl.m.BlockMidplanes(nodes)
+	if width < 0 || hint < 0 || hint%width != 0 || hint+width > pl.m.midplanes {
+		panic("machine: invalid partition plan commitment")
+	}
+	if start < pl.now || !pl.blockFree(hint, width, start, walltime) {
+		panic("machine: infeasible partition plan commitment")
+	}
+	end := start.Add(walltime)
+	for i := hint; i < hint+width; i++ {
+		ivs := append(pl.busy[i], ival{from: start, to: end})
+		// Insert in place: the timelines stay sorted by start time.
+		for k := len(ivs) - 1; k > 0 && ivs[k-1].from > ivs[k].from; k-- {
+			ivs[k-1], ivs[k] = ivs[k], ivs[k-1]
+		}
+		pl.busy[i] = ivs
+	}
+}

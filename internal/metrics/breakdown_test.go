@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+func done(id, nodes int, runtime units.Duration, wait units.Duration, user string) *job.Job {
+	return &job.Job{
+		ID: id, User: user, Nodes: nodes, Runtime: runtime, Walltime: runtime,
+		Submit: 0, Start: units.Time(wait), End: units.Time(wait) + units.Time(runtime),
+		State: job.Finished,
+	}
+}
+
+func TestWaitBySize(t *testing.T) {
+	jobs := []*job.Job{
+		done(1, 10, 100, 600, "a"),    // <=1/32 of 1024
+		done(2, 100, 100, 1200, "a"),  // <=1/8
+		done(3, 500, 100, 1800, "b"),  // <=1/2
+		done(4, 1000, 100, 6000, "b"), // >1/2
+		done(5, 1000, 100, 12000, "b"),
+	}
+	rows := WaitBySize(jobs, 1024)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Class != "<=1/32 machine" || rows[0].Jobs != 1 || rows[0].Wait.Mean != 10 {
+		t.Errorf("row 0 wrong: %+v", rows[0])
+	}
+	big := rows[3]
+	if big.Class != ">1/2 machine" || big.Jobs != 2 || big.Wait.Mean != 150 {
+		t.Errorf("big-job row wrong: %+v", big)
+	}
+}
+
+func TestWaitByRuntime(t *testing.T) {
+	jobs := []*job.Job{
+		done(1, 1, 5*units.Minute, 60, "a"),
+		done(2, 1, 30*units.Minute, 120, "a"),
+		done(3, 1, 2*units.Hour, 180, "a"),
+		done(4, 1, 8*units.Hour, 240, "a"),
+	}
+	rows := WaitByRuntime(jobs)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	wants := []string{"<=10 min", "<=1 h", "<=4 h", ">4 h"}
+	for i, w := range wants {
+		if rows[i].Class != w || rows[i].Jobs != 1 {
+			t.Errorf("row %d = %+v, want class %q", i, rows[i], w)
+		}
+	}
+}
+
+func TestWaitByUser(t *testing.T) {
+	jobs := []*job.Job{
+		done(1, 1, 60, 60, "alice"),
+		done(2, 1, 60, 60, "alice"),
+		done(3, 1, 60, 120, "bob"),
+		done(4, 1, 60, 300, "carol"),
+	}
+	rows := WaitByUser(jobs, 2)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	if rows[0].Class != "alice" || rows[0].Jobs != 2 {
+		t.Errorf("top user wrong: %+v", rows[0])
+	}
+	if rows[2].Class != "(others)" || rows[2].Jobs != 1 || rows[2].Wait.Mean != 5 {
+		t.Errorf("others wrong: %+v", rows[2])
+	}
+}
+
+func TestBreakdownSkipsUnfinished(t *testing.T) {
+	j := done(1, 1, 60, 60, "a")
+	j.State = job.Queued
+	if rows := WaitByRuntime([]*job.Job{j}); len(rows) != 0 {
+		t.Errorf("unfinished job counted: %+v", rows)
+	}
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	out := FormatBreakdown("by size", WaitBySize([]*job.Job{done(1, 10, 100, 600, "a")}, 1024))
+	for _, want := range []string{"by size", "class", "<=1/32 machine", "10.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

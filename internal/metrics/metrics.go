@@ -1,0 +1,207 @@
+// Package metrics implements the paper's evaluation metrics (§IV-A):
+// per-job waiting time, queue depth, fairness (unfair-job counting
+// against an oracle fair start time), system utilization with rolling
+// 1H/10H/24H averages, and loss of capacity (Eq. 4).
+//
+// A Collector is fed by the simulation engine: once after every
+// scheduling step (event batch + scheduling pass) and once per
+// checkpoint; per-job hooks fire at job start and completion.
+package metrics
+
+import (
+	"amjs/internal/job"
+	"amjs/internal/stats"
+	"amjs/internal/units"
+)
+
+// Collector accumulates every metric for one simulation run.
+type Collector struct {
+	totalNodes int
+
+	// Busy is the step function of occupied nodes over time (whole
+	// partitions on a partitioned machine); Used counts only nodes the
+	// running jobs requested.
+	Busy stats.StepSeries
+	Used stats.StepSeries
+
+	// Checkpoint series, sampled every checking interval.
+	QD          stats.Series // queue depth, minutes
+	UtilInstant stats.Series
+	Util1H      stats.Series
+	Util10H     stats.Series
+	Util24H     stats.Series
+	BF          stats.Series // balance factor over time (adaptive runs)
+	W           stats.Series // window size over time (adaptive runs)
+
+	waitsMin  []float64 // waiting time per started job, minutes
+	slowdowns []float64 // bounded slowdown per started job
+	unfair    int
+	fairKnown int
+
+	// Loss-of-capacity integration (Eq. 4): between scheduling events i
+	// and i+1, n_i idle nodes count as lost iff some queued job would
+	// fit in them (δ_i = 1).
+	locNodeSec float64
+	haveStep   bool
+	lastStep   units.Time
+	lastIdle   int
+	lastDelta  bool
+
+	firstEvent units.Time
+	lastEvent  units.Time
+	finished   int
+	killed     int
+}
+
+// NewCollector returns a collector for a machine of the given size.
+func NewCollector(totalNodes int) *Collector {
+	if totalNodes <= 0 {
+		panic("metrics: non-positive machine size")
+	}
+	return &Collector{totalNodes: totalNodes}
+}
+
+// TotalNodes returns the machine size the collector was built for.
+func (c *Collector) TotalNodes() int { return c.totalNodes }
+
+// OnScheduleStep records the post-scheduling state at a scheduling
+// event: the busy/used node counts and whether any queued job would fit
+// in the idle nodes (the δ of Eq. 4).
+func (c *Collector) OnScheduleStep(now units.Time, busy, used int, queuedFits bool) {
+	if c.haveStep {
+		if now < c.lastStep {
+			panic("metrics: scheduling steps out of order")
+		}
+		if c.lastDelta {
+			c.locNodeSec += float64(c.lastIdle) * float64(now-c.lastStep)
+		}
+	} else {
+		c.firstEvent = now
+		c.haveStep = true
+	}
+	c.lastStep = now
+	c.lastIdle = c.totalNodes - busy
+	c.lastDelta = queuedFits
+	c.lastEvent = now
+	c.Busy.Set(now, float64(busy))
+	c.Used.Set(now, float64(used))
+}
+
+// OnJobStart records a job's wait and, when the fairness oracle supplied
+// a fair start time, whether the start was unfair (actual start beyond
+// fair start plus tolerance).
+func (c *Collector) OnJobStart(j *job.Job, fairStart units.Time, tolerance units.Duration, fairKnown bool) {
+	c.waitsMin = append(c.waitsMin, j.Wait().Minutes())
+	c.slowdowns = append(c.slowdowns, j.Slowdown(slowdownTau))
+	if fairKnown {
+		c.fairKnown++
+		if j.Start > fairStart.Add(tolerance) {
+			c.unfair++
+		}
+	}
+}
+
+// OnJobEnd records a completion.
+func (c *Collector) OnJobEnd(j *job.Job) {
+	if j.State == job.Killed {
+		c.killed++
+	} else {
+		c.finished++
+	}
+}
+
+// QueueDepthMinutes computes the paper's queue-depth metric for the
+// given queue at instant now: the sum of the waiting time each queued
+// job has endured so far, in minutes.
+func QueueDepthMinutes(now units.Time, queue []*job.Job) float64 {
+	total := 0.0
+	for _, j := range queue {
+		total += j.WaitAt(now).Minutes()
+	}
+	return total
+}
+
+// UtilWindowAvg returns the machine utilization averaged over the
+// trailing window ending at now (1.0 = fully busy).
+func (c *Collector) UtilWindowAvg(now units.Time, w units.Duration) float64 {
+	return c.Busy.WindowAverage(now, w) / float64(c.totalNodes)
+}
+
+// OnCheckpoint samples the checkpoint series. bf/w are the scheduler's
+// current tunables when it exposes them (hasTunables).
+func (c *Collector) OnCheckpoint(now units.Time, queue []*job.Job, bf float64, w int, hasTunables bool) {
+	c.QD.Append(now, QueueDepthMinutes(now, queue))
+	c.UtilInstant.Append(now, c.Busy.At(now)/float64(c.totalNodes))
+	c.Util1H.Append(now, c.UtilWindowAvg(now, units.Hour))
+	c.Util10H.Append(now, c.UtilWindowAvg(now, 10*units.Hour))
+	c.Util24H.Append(now, c.UtilWindowAvg(now, 24*units.Hour))
+	if hasTunables {
+		c.BF.Append(now, bf)
+		c.W.Append(now, float64(w))
+	}
+}
+
+// slowdownTau is the bounded-slowdown threshold (Feitelson's
+// convention: very short jobs do not inflate the metric).
+const slowdownTau = 10 * units.Second
+
+// AvgWaitMinutes is the mean waiting time across started jobs.
+func (c *Collector) AvgWaitMinutes() float64 { return stats.Mean(c.waitsMin) }
+
+// SlowdownSummary summarizes the bounded slowdown distribution
+// ((wait+runtime)/max(runtime, 10s)) across started jobs.
+func (c *Collector) SlowdownSummary() stats.Summary { return stats.Summarize(c.slowdowns) }
+
+// MaxWaitMinutes is the largest waiting time across started jobs.
+func (c *Collector) MaxWaitMinutes() float64 { return stats.Max(c.waitsMin) }
+
+// WaitSummary summarizes the waiting-time distribution (minutes).
+func (c *Collector) WaitSummary() stats.Summary { return stats.Summarize(c.waitsMin) }
+
+// UnfairCount is the number of jobs started after their fair start time.
+func (c *Collector) UnfairCount() int { return c.unfair }
+
+// FairKnownCount is the number of jobs with an oracle fair start.
+func (c *Collector) FairKnownCount() int { return c.fairKnown }
+
+// StartedCount is the number of jobs that started.
+func (c *Collector) StartedCount() int { return len(c.waitsMin) }
+
+// FinishedCount is the number of jobs that completed within walltime.
+func (c *Collector) FinishedCount() int { return c.finished }
+
+// KilledCount is the number of jobs terminated at their walltime limit.
+func (c *Collector) KilledCount() int { return c.killed }
+
+// LoC is the loss of capacity of Eq. 4 over the run, in [0, 1]: the
+// fraction of available node-time that sat idle while queued work would
+// have fit.
+func (c *Collector) LoC() float64 {
+	span := c.lastEvent.Sub(c.firstEvent)
+	if !c.haveStep || span <= 0 {
+		return 0
+	}
+	return c.locNodeSec / (float64(c.totalNodes) * float64(span))
+}
+
+// UtilAvg is the mean busy fraction of the machine over the run.
+func (c *Collector) UtilAvg() float64 {
+	span := c.lastEvent.Sub(c.firstEvent)
+	if span <= 0 {
+		return 0
+	}
+	return c.Busy.Integrate(c.firstEvent, c.lastEvent) / (float64(c.totalNodes) * float64(span))
+}
+
+// UsedAvg is like UtilAvg but counts only requested nodes (excluding
+// internal fragmentation of partitions).
+func (c *Collector) UsedAvg() float64 {
+	span := c.lastEvent.Sub(c.firstEvent)
+	if span <= 0 {
+		return 0
+	}
+	return c.Used.Integrate(c.firstEvent, c.lastEvent) / (float64(c.totalNodes) * float64(span))
+}
+
+// Span is the duration between the first and last scheduling events.
+func (c *Collector) Span() units.Duration { return c.lastEvent.Sub(c.firstEvent) }

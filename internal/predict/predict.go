@@ -1,0 +1,121 @@
+// Package predict adjusts user walltime estimates from per-user
+// history, after the authors' companion work "Analyzing and adjusting
+// user runtime estimates to improve job scheduling on the Blue Gene/P"
+// (Tang, Desai, Buettner, Lan; IPDPS 2010), cited as [20] by the
+// reproduced paper. Overestimated walltimes make backfilling
+// conservative (jobs look longer than they are); tightening them is a
+// complementary lever to the paper's scheduling-side mechanisms.
+//
+// The Predictor keeps a sliding window of each user's observed
+// runtime/request ratios and predicts the next request's effective
+// ratio as the window mean inflated by a safety factor. AdjustTrace
+// applies the predictor offline to a whole trace, never cutting an
+// estimate below the job's actual runtime (the simulator would
+// otherwise kill the job early, which the real adjustment avoided by
+// construction).
+package predict
+
+import (
+	"fmt"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// Predictor learns per-user walltime-accuracy ratios.
+type Predictor struct {
+	window  int     // ratios remembered per user
+	safety  float64 // inflation applied to the mean ratio
+	minObs  int     // observations required before predicting
+	history map[string][]float64
+}
+
+// New returns a predictor remembering the last window observations per
+// user and inflating predictions by the safety factor (>= 1 keeps the
+// prediction conservative). It panics on nonsensical parameters.
+func New(window int, safety float64) *Predictor {
+	if window <= 0 || safety <= 0 {
+		panic(fmt.Sprintf("predict: bad parameters window=%d safety=%v", window, safety))
+	}
+	return &Predictor{
+		window:  window,
+		safety:  safety,
+		minObs:  2,
+		history: make(map[string][]float64),
+	}
+}
+
+// Observe records a completed job's accuracy: the ratio of actual
+// runtime to requested walltime. Invalid observations are ignored.
+func (p *Predictor) Observe(user string, runtime, walltime units.Duration) {
+	if runtime <= 0 || walltime <= 0 || runtime > walltime {
+		return
+	}
+	h := append(p.history[user], float64(runtime)/float64(walltime))
+	if len(h) > p.window {
+		h = h[len(h)-p.window:]
+	}
+	p.history[user] = h
+}
+
+// Observations returns how many ratios are remembered for the user.
+func (p *Predictor) Observations(user string) int { return len(p.history[user]) }
+
+// Predict returns the adjusted walltime for a request: requested ×
+// clamp(meanRatio × safety, 0..1). With fewer than two observations the
+// request is returned unchanged.
+func (p *Predictor) Predict(user string, requested units.Duration) units.Duration {
+	h := p.history[user]
+	if len(h) < p.minObs || requested <= 0 {
+		return requested
+	}
+	sum := 0.0
+	for _, r := range h {
+		sum += r
+	}
+	ratio := sum / float64(len(h)) * p.safety
+	if ratio >= 1 {
+		return requested
+	}
+	adjusted := units.Duration(float64(requested) * ratio)
+	if adjusted < units.Minute {
+		adjusted = units.Minute
+	}
+	if adjusted > requested {
+		adjusted = requested
+	}
+	return adjusted
+}
+
+// AdjustTrace applies the predictor to a trace offline: jobs are
+// visited in submission order, each job's walltime is replaced by the
+// prediction from the user's earlier jobs, and the completion is then
+// observed against the ORIGINAL request (what the site's logs would
+// contain). Estimates are never cut below the actual runtime. The input
+// is cloned.
+func AdjustTrace(jobs []*job.Job, p *Predictor) []*job.Job {
+	out := job.CloneAll(jobs)
+	for _, j := range out {
+		original := j.Walltime
+		adjusted := p.Predict(j.User, original)
+		if adjusted < j.Runtime {
+			adjusted = j.Runtime
+		}
+		j.Walltime = adjusted
+		p.Observe(j.User, j.Runtime, original)
+	}
+	return out
+}
+
+// MeanOverestimate reports the average walltime/runtime ratio of a
+// trace — the quantity the adjustment is meant to shrink.
+func MeanOverestimate(jobs []*job.Job) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range jobs {
+		sum += float64(j.Walltime) / float64(j.Runtime)
+	}
+	return sum / float64(len(jobs))
+}

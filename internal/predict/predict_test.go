@@ -1,0 +1,171 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct {
+		w int
+		s float64
+	}{{0, 1}, {5, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %v) did not panic", c.w, c.s)
+				}
+			}()
+			New(c.w, c.s)
+		}()
+	}
+}
+
+func TestPredictorLearning(t *testing.T) {
+	p := New(10, 1.0)
+	// No history → unchanged.
+	if got := p.Predict("alice", 1000); got != 1000 {
+		t.Errorf("cold prediction = %v", got)
+	}
+	// Alice consistently uses 25% of her request.
+	p.Observe("alice", 250, 1000)
+	if got := p.Predict("alice", 1000); got != 1000 {
+		t.Errorf("single observation should not predict: %v", got)
+	}
+	p.Observe("alice", 500, 2000)
+	if got := p.Predict("alice", 1000); got != 250 {
+		t.Errorf("prediction = %v, want 250", got)
+	}
+	// Bob's history must not affect Alice.
+	p.Observe("bob", 1000, 1000)
+	p.Observe("bob", 999, 1000)
+	if got := p.Predict("alice", 1000); got != 250 {
+		t.Errorf("cross-user interference: %v", got)
+	}
+	// Accurate users stay essentially unchanged (ratio ~1).
+	if got := p.Predict("bob", 500); got < 499 || got > 500 {
+		t.Errorf("accurate user adjusted: %v", got)
+	}
+}
+
+func TestPredictorSafetyAndClamps(t *testing.T) {
+	p := New(10, 2.0) // 2x safety
+	p.Observe("u", 250, 1000)
+	p.Observe("u", 250, 1000)
+	// mean ratio 0.25 × 2 = 0.5.
+	if got := p.Predict("u", 1000); got != 500 {
+		t.Errorf("safety prediction = %v, want 500", got)
+	}
+	// Ratio clamped at 1: no inflation beyond the request.
+	p2 := New(10, 10)
+	p2.Observe("u", 900, 1000)
+	p2.Observe("u", 900, 1000)
+	if got := p2.Predict("u", 1000); got != 1000 {
+		t.Errorf("clamped prediction = %v", got)
+	}
+	// Floor at one minute.
+	p3 := New(10, 1)
+	p3.Observe("u", 1, 10000)
+	p3.Observe("u", 1, 10000)
+	if got := p3.Predict("u", 10000); got != units.Minute {
+		t.Errorf("floor = %v", got)
+	}
+}
+
+func TestPredictorWindow(t *testing.T) {
+	p := New(2, 1.0)
+	p.Observe("u", 1000, 1000) // will slide out
+	p.Observe("u", 250, 1000)
+	p.Observe("u", 250, 1000)
+	if got := p.Observations("u"); got != 2 {
+		t.Errorf("window kept %d", got)
+	}
+	if got := p.Predict("u", 1000); got != 250 {
+		t.Errorf("windowed prediction = %v, want 250", got)
+	}
+}
+
+func TestObserveRejectsGarbage(t *testing.T) {
+	p := New(5, 1)
+	p.Observe("u", 0, 100)
+	p.Observe("u", 100, 0)
+	p.Observe("u", 200, 100) // runtime > walltime
+	if p.Observations("u") != 0 {
+		t.Error("garbage observations recorded")
+	}
+}
+
+func TestAdjustTraceInvariants(t *testing.T) {
+	cfg := workload.Mini(5)
+	cfg.MaxJobs = 200
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := AdjustTrace(jobs, New(20, 1.2))
+	if len(adjusted) != len(jobs) {
+		t.Fatal("job count changed")
+	}
+	for i, j := range adjusted {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("adjusted job invalid: %v", err)
+		}
+		if j.Walltime > jobs[i].Walltime {
+			t.Errorf("job %d estimate grew: %v > %v", j.ID, j.Walltime, jobs[i].Walltime)
+		}
+		if j.Walltime < j.Runtime {
+			t.Errorf("job %d estimate below runtime", j.ID)
+		}
+	}
+	// Originals untouched.
+	if jobs[0].Walltime != adjusted[0].Walltime && jobs[0].Walltime == 0 {
+		t.Error("input mutated")
+	}
+	// The adjustment must tighten estimates overall.
+	before := MeanOverestimate(jobs)
+	after := MeanOverestimate(adjusted)
+	if after >= before {
+		t.Errorf("overestimate %.2f -> %.2f; expected a reduction", before, after)
+	}
+	if after < 1 {
+		t.Errorf("mean overestimate below 1: %v", after)
+	}
+}
+
+func TestAdjustTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := workload.Mini(seed)
+		cfg.MaxJobs = 60
+		jobs, err := cfg.Generate()
+		if err != nil {
+			return false
+		}
+		adjusted := AdjustTrace(jobs, New(10, 1.5))
+		for i, j := range adjusted {
+			if j.Walltime < j.Runtime || j.Walltime > jobs[i].Walltime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanOverestimate(t *testing.T) {
+	jobs := []*job.Job{
+		{Walltime: 200, Runtime: 100},
+		{Walltime: 400, Runtime: 100},
+	}
+	if got := MeanOverestimate(jobs); got != 3 {
+		t.Errorf("MeanOverestimate = %v, want 3", got)
+	}
+	if MeanOverestimate(nil) != 0 {
+		t.Error("empty trace not 0")
+	}
+}

@@ -1,0 +1,134 @@
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// ScheduleCSV writes the executed schedule as CSV: one row per job with
+// its request and its simulated outcome.
+func ScheduleCSV(w io.Writer, jobs []*job.Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"job", "user", "nodes", "submit_s", "start_s", "end_s", "wait_s", "runtime_s", "walltime_s", "state",
+	}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		err := cw.Write([]string{
+			strconv.Itoa(j.ID), j.User, strconv.Itoa(j.Nodes),
+			strconv.FormatInt(int64(j.Submit), 10),
+			strconv.FormatInt(int64(j.Start), 10),
+			strconv.FormatInt(int64(j.End), 10),
+			strconv.FormatInt(int64(j.Wait()), 10),
+			strconv.FormatInt(int64(j.Runtime), 10),
+			strconv.FormatInt(int64(j.Walltime), 10),
+			j.State.String(),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// maxGanttJobs bounds the per-job Gantt rendering.
+const maxGanttJobs = 60
+
+// Gantt renders an ASCII per-job timeline of an executed schedule:
+// '.' while the job waits, '#' while it runs. Jobs are ordered by start
+// time; at most maxGanttJobs rows are drawn.
+func Gantt(w io.Writer, jobs []*job.Job, width int) {
+	if width <= 0 {
+		width = 72
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(w, "(no jobs)")
+		return
+	}
+	sorted := append([]*job.Job(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	truncated := 0
+	if len(sorted) > maxGanttJobs {
+		truncated = len(sorted) - maxGanttJobs
+		sorted = sorted[:maxGanttJobs]
+	}
+	t0 := sorted[0].Submit
+	t1 := sorted[0].End
+	for _, j := range sorted {
+		if j.Submit < t0 {
+			t0 = j.Submit
+		}
+		if j.End > t1 {
+			t1 = j.End
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	col := func(t units.Time) int {
+		c := int(float64(t-t0) / float64(t1-t0) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "schedule %s .. %s ('.' waiting, '#' running)\n",
+		units.Duration(t0-units.Time(0)).String(), units.Duration(t1-units.Time(0)).String())
+	for _, j := range sorted {
+		row := []byte(strings.Repeat(" ", width))
+		for c := col(j.Submit); c < col(j.Start); c++ {
+			row[c] = '.'
+		}
+		for c := col(j.Start); c <= col(j.End); c++ {
+			row[c] = '#'
+		}
+		fmt.Fprintf(w, "%6d %5dn |%s|\n", j.ID, j.Nodes, string(row))
+	}
+	if truncated > 0 {
+		fmt.Fprintf(w, "  ... %d more jobs not drawn\n", truncated)
+	}
+}
+
+// UtilizationStrip renders machine occupancy over time as a single
+// character strip (deciles of busy fraction), a compact load heatline.
+func UtilizationStrip(w io.Writer, busyAt func(units.Time) float64, from, to units.Time, width int) {
+	if width <= 0 {
+		width = 72
+	}
+	if to <= from {
+		fmt.Fprintln(w, "(empty span)")
+		return
+	}
+	const ramp = " .:-=+*#%@"
+	var b strings.Builder
+	for c := 0; c < width; c++ {
+		t := from.Add(units.Duration(int64(to-from) * int64(c) / int64(width)))
+		frac := busyAt(t)
+		idx := int(frac * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteByte(ramp[idx])
+	}
+	fmt.Fprintf(w, "util |%s| %.0fh..%.0fh\n", b.String(), from.Hours(), to.Hours())
+}

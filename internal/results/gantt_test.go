@@ -1,0 +1,101 @@
+package results
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+func doneJob(id int, submit, start, end units.Time, nodes int) *job.Job {
+	return &job.Job{
+		ID: id, User: "u", Submit: submit, Start: start, End: end,
+		Nodes: nodes, Walltime: units.Duration(end - start), Runtime: units.Duration(end - start),
+		State: job.Finished,
+	}
+}
+
+func TestScheduleCSV(t *testing.T) {
+	jobs := []*job.Job{
+		doneJob(1, 0, 10, 110, 64),
+		doneJob(2, 5, 110, 210, 128),
+	}
+	var buf bytes.Buffer
+	if err := ScheduleCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[1][0] != "1" || recs[1][6] != "10" { // wait = 10
+		t.Errorf("row 1 wrong: %v", recs[1])
+	}
+	if recs[2][9] != "finished" {
+		t.Errorf("state cell = %q", recs[2][9])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	jobs := []*job.Job{
+		doneJob(1, 0, 0, 100, 64),
+		doneJob(2, 0, 100, 200, 64), // waits 100 then runs
+	}
+	var buf bytes.Buffer
+	Gantt(&buf, jobs, 40)
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("gantt missing marks:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Job 2's wait must render before its run.
+	if !strings.Contains(lines[2], ".") {
+		t.Errorf("job 2 row has no waiting span: %q", lines[2])
+	}
+	// Empty input.
+	buf.Reset()
+	Gantt(&buf, nil, 40)
+	if !strings.Contains(buf.String(), "no jobs") {
+		t.Error("empty gantt not labelled")
+	}
+}
+
+func TestGanttTruncation(t *testing.T) {
+	var jobs []*job.Job
+	for i := 1; i <= maxGanttJobs+5; i++ {
+		jobs = append(jobs, doneJob(i, 0, units.Time(i), units.Time(i+10), 1))
+	}
+	var buf bytes.Buffer
+	Gantt(&buf, jobs, 40)
+	if !strings.Contains(buf.String(), "5 more jobs") {
+		t.Error("truncation note missing")
+	}
+}
+
+func TestUtilizationStrip(t *testing.T) {
+	var buf bytes.Buffer
+	UtilizationStrip(&buf, func(t units.Time) float64 {
+		if t < 1800 {
+			return 0
+		}
+		return 1
+	}, 0, 3600, 20)
+	out := buf.String()
+	if !strings.Contains(out, " ") || !strings.Contains(out, "@") {
+		t.Errorf("strip missing extremes: %q", out)
+	}
+	buf.Reset()
+	UtilizationStrip(&buf, func(units.Time) float64 { return 0.5 }, 10, 10, 20)
+	if !strings.Contains(buf.String(), "empty span") {
+		t.Error("degenerate span not labelled")
+	}
+}

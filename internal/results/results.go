@@ -1,0 +1,248 @@
+// Package results renders experiment output: fixed-width tables, CSV
+// files, and ASCII line charts for the time-series figures.
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"amjs/internal/stats"
+)
+
+// Table is a titled grid of cells rendered as fixed-width text or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row. Short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with
+// %v for strings/ints and %.1f for floats.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.1f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.1f", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.Add(row...)
+}
+
+// Render writes the table as aligned fixed-width text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesCSV writes one or more series as CSV with a shared time column
+// (hours); series missing a sample at some time get an empty cell.
+func SeriesCSV(w io.Writer, series ...*stats.Series) error {
+	timeSet := map[float64]bool{}
+	for _, s := range series {
+		for _, t := range s.Times {
+			timeSet[t.Hours()] = true
+		}
+	}
+	times := make([]float64, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sortFloats(times)
+
+	cw := csv.NewWriter(w)
+	header := []string{"hours"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	// Per-series cursor walk keeps this O(total samples).
+	cursors := make([]int, len(series))
+	for _, t := range times {
+		row := []string{fmt.Sprintf("%.2f", t)}
+		for i, s := range series {
+			cell := ""
+			for cursors[i] < len(s.Times) && s.Times[cursors[i]].Hours() < t-1e-9 {
+				cursors[i]++
+			}
+			if cursors[i] < len(s.Times) && math.Abs(s.Times[cursors[i]].Hours()-t) < 1e-9 {
+				cell = fmt.Sprintf("%g", s.Values[cursors[i]])
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+// ChartOptions configure an ASCII chart.
+type ChartOptions struct {
+	Width  int  // plot columns (default 72)
+	Height int  // plot rows (default 16)
+	LogY   bool // log10(1+y) scale, as in the paper's Fig 4(b)
+	YLabel string
+}
+
+// chartMarks are the per-series plot symbols.
+var chartMarks = []byte{'*', '#', '+', 'x', 'o', '@', '%', '&'}
+
+// Chart renders series as an ASCII line chart over time (x in hours).
+// It is the textual stand-in for the paper's time-series figures.
+func Chart(w io.Writer, title string, opt ChartOptions, series ...*stats.Series) {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	var tMin, tMax, vMax float64
+	first := true
+	for _, s := range series {
+		for i, t := range s.Times {
+			th := t.Hours()
+			v := s.Values[i]
+			if first {
+				tMin, tMax = th, th
+				first = false
+			}
+			if th < tMin {
+				tMin = th
+			}
+			if th > tMax {
+				tMax = th
+			}
+			if v > vMax {
+				vMax = v
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if first {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if tMax <= tMin {
+		tMax = tMin + 1
+	}
+	yOf := func(v float64) float64 {
+		if opt.LogY {
+			return math.Log10(1 + v)
+		}
+		return v
+	}
+	yMax := yOf(vMax)
+	if yMax <= 0 {
+		yMax = 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		mark := chartMarks[si%len(chartMarks)]
+		for i, t := range s.Times {
+			col := int((t.Hours() - tMin) / (tMax - tMin) * float64(opt.Width-1))
+			row := opt.Height - 1 - int(yOf(s.Values[i])/yMax*float64(opt.Height-1))
+			if col >= 0 && col < opt.Width && row >= 0 && row < opt.Height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	yTop := fmt.Sprintf("%.3g", vMax)
+	scale := "linear"
+	if opt.LogY {
+		scale = "log"
+	}
+	fmt.Fprintf(w, "  y: %s (max %s, %s scale)\n", opt.YLabel, yTop, scale)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(w, "   %-10.1fh%*s%.1fh\n", tMin, opt.Width-14, "", tMax)
+	for si, s := range series {
+		fmt.Fprintf(w, "   %c %s\n", chartMarks[si%len(chartMarks)], s.Name)
+	}
+}

@@ -1,0 +1,121 @@
+package results
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"amjs/internal/stats"
+	"amjs/internal/units"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "config", "wait", "unfair")
+	tb.Add("BF=1/W=1", "245.2", "10")
+	tb.Addf("BF=0.5/W=4", 70.42, 49)
+	out := tb.String()
+	for _, want := range []string{"Demo", "config", "BF=1/W=1", "245.2", "70.4", "49"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: header and first row start at same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	hIdx := strings.Index(lines[1], "wait")
+	rIdx := strings.Index(lines[3], "245.2")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: header at %d, cell at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("only")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Errorf("row length = %d, want 3", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("x", "1")
+	tb.Add("y,z", "2") // needs quoting
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2][0] != "y,z" {
+		t.Errorf("csv round-trip wrong: %v", recs)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	a := &stats.Series{Name: "a"}
+	a.Append(0, 1)
+	a.Append(3600, 2)
+	b := &stats.Series{Name: "b"}
+	b.Append(3600, 5)
+	b.Append(7200, 6)
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("rows = %d, want 4 (header + 3 times):\n%v", len(recs), recs)
+	}
+	if recs[0][1] != "a" || recs[0][2] != "b" {
+		t.Errorf("header wrong: %v", recs[0])
+	}
+	// t=0: a=1, b empty. t=1h: a=2, b=5. t=2h: a empty, b=6.
+	if recs[1][1] != "1" || recs[1][2] != "" {
+		t.Errorf("row 1 wrong: %v", recs[1])
+	}
+	if recs[2][1] != "2" || recs[2][2] != "5" {
+		t.Errorf("row 2 wrong: %v", recs[2])
+	}
+	if recs[3][1] != "" || recs[3][2] != "6" {
+		t.Errorf("row 3 wrong: %v", recs[3])
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	up := &stats.Series{Name: "rising"}
+	flat := &stats.Series{Name: "flat"}
+	for h := 0; h <= 10; h++ {
+		at := units.Time(h) * units.Time(units.Hour)
+		up.Append(at, float64(h*100))
+		flat.Append(at, 50)
+	}
+	var buf bytes.Buffer
+	Chart(&buf, "Fig X", ChartOptions{Width: 40, Height: 8, YLabel: "minutes"}, up, flat)
+	out := buf.String()
+	for _, want := range []string{"Fig X", "rising", "flat", "minutes", "linear", "*", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Log scale label.
+	buf.Reset()
+	Chart(&buf, "Fig Y", ChartOptions{LogY: true}, up)
+	if !strings.Contains(buf.String(), "log") {
+		t.Error("log scale not labelled")
+	}
+	// Empty chart must not panic.
+	buf.Reset()
+	Chart(&buf, "empty", ChartOptions{})
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart not labelled")
+	}
+}

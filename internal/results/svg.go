@@ -1,0 +1,133 @@
+package results
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"amjs/internal/stats"
+)
+
+// svgPalette are the series stroke colors (colorblind-safe).
+var svgPalette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// ChartSVG renders series as a standalone SVG line chart (x in hours).
+// It is dependency-free output for the figure CSVs the experiments
+// write; any browser displays it.
+func ChartSVG(w io.Writer, title string, opt ChartOptions, series ...*stats.Series) error {
+	const (
+		width   = 760
+		height  = 420
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 70
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	var tMin, tMax, vMax float64
+	first := true
+	for _, s := range series {
+		for i, t := range s.Times {
+			th := t.Hours()
+			if first {
+				tMin, tMax = th, th
+				first = false
+			}
+			if th < tMin {
+				tMin = th
+			}
+			if th > tMax {
+				tMax = th
+			}
+			if s.Values[i] > vMax {
+				vMax = s.Values[i]
+			}
+		}
+	}
+	if tMax <= tMin {
+		tMax = tMin + 1
+	}
+	yOf := func(v float64) float64 {
+		if opt.LogY {
+			return math.Log10(1 + v)
+		}
+		return v
+	}
+	yMax := yOf(vMax)
+	if yMax <= 0 {
+		yMax = 1
+	}
+	xPix := func(th float64) float64 { return marginL + (th-tMin)/(tMax-tMin)*plotW }
+	yPix := func(v float64) float64 { return marginT + plotH - yOf(v)/yMax*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16">%s</text>`+"\n", marginL, escapeXML(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+
+	// Gridlines and tick labels (4 divisions each way).
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		x := marginL + frac*plotW
+		tLabel := tMin + frac*(tMax-tMin)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#dddddd"/>`+"\n",
+			x, marginT, x, height-marginB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%.0fh</text>`+"\n",
+			x, height-marginB+16, tLabel)
+
+		y := marginT + plotH - frac*plotH
+		var vLabel float64
+		if opt.LogY {
+			vLabel = math.Pow(10, frac*yMax) - 1
+		} else {
+			vLabel = frac * yMax
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			marginL-6, y+4, vLabel)
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+int(plotH)/2, marginT+int(plotH)/2, escapeXML(opt.YLabel))
+	}
+
+	// Series polylines and legend.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i, t := range s.Times {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPix(t.Hours()), yPix(s.Values[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		lx := marginL + 10 + (si%4)*170
+		ly := height - 28 + (si/4)*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			lx+28, ly, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,70 @@
+package results
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"amjs/internal/stats"
+	"amjs/internal/units"
+)
+
+func svgSeries() []*stats.Series {
+	a := &stats.Series{Name: "FCFS <base>"}
+	b := &stats.Series{Name: "adaptive"}
+	for h := 0; h <= 24; h++ {
+		at := units.Time(h) * units.Time(units.Hour)
+		a.Append(at, float64(h*h))
+		b.Append(at, float64(h))
+	}
+	return []*stats.Series{a, b}
+}
+
+func TestChartSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	err := ChartSVG(&buf, `Queue depth & "bursts"`, ChartOptions{YLabel: "minutes"}, svgSeries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be valid XML (series names and title contain specials).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "adaptive", "minutes", "&quot;bursts&quot;", "FCFS &lt;base&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestChartSVGLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChartSVG(&buf, "log", ChartOptions{LogY: true}, svgSeries()...); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no svg output")
+	}
+}
+
+func TestChartSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChartSVG(&buf, "empty", ChartOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty chart not closed")
+	}
+}

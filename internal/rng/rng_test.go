@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s1 := New(7).Split("arrivals")
+	s2 := New(7).Split("arrivals")
+	for i := 0; i < 50; i++ {
+		if s1.Int63() != s2.Int63() {
+			t.Fatal("same-name splits diverged")
+		}
+	}
+	a := New(7).Split("arrivals")
+	b := New(7).Split("sizes")
+	diff := 0
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different-name splits identical")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(2)
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(30)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-30) > 1.5 {
+		t.Errorf("Exp mean = %v, want ~30", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(3)
+	n := 20001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormal(math.Log(100), 1.0)
+	}
+	// Median of lognormal is exp(mu) = 100. Count below/above.
+	below := 0
+	for _, v := range vals {
+		if v < 100 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("lognormal median fraction below = %v, want ~0.5", frac)
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := NewWeighted([]float64{1, 0, 3})
+	s := New(4)
+	counts := make([]int, 3)
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[w.Draw(s)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight choice drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, 2}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeighted(%v): expected panic", weights)
+				}
+			}()
+			NewWeighted(weights)
+		}()
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(10, 1.5)
+	s := New(5)
+	counts := make([]int, 10)
+	for i := 0; i < 30000; i++ {
+		counts[z.Draw(s)]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[3]) {
+		t.Errorf("Zipf counts not decreasing: %v", counts)
+	}
+	// Uniform case.
+	u := NewZipf(4, 0)
+	counts = make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[u.Draw(s)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Zipf(skew=0) rank %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(6)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Errorf("Bool(0.25) hit %d/10000", hits)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// FairShare is the classic production fair-share policy: users'
+// priorities decay with their recent resource consumption, so light
+// users jump ahead of heavy ones. Consumption is tracked as node-
+// seconds with exponential half-life decay, the scheme used by
+// Maui/Moab-class schedulers (§II discusses their weighted-priority
+// approach). Jobs run with EASY backfilling over the fair-share order.
+//
+// FairShare is stateful across scheduling passes; Clone carries the
+// usage ledger, so nested fairness simulations see the current shares.
+type FairShare struct {
+	// HalfLife is the decay half-life of recorded usage.
+	HalfLife units.Duration
+
+	usage    map[string]float64 // decayed node-seconds per user
+	lastTick units.Time
+}
+
+// NewFairShare returns a fair-share scheduler with the given usage
+// half-life (panics if non-positive — a configuration error).
+func NewFairShare(halfLife units.Duration) *FairShare {
+	if halfLife <= 0 {
+		panic("sched: fair-share half-life must be positive")
+	}
+	return &FairShare{HalfLife: halfLife, usage: make(map[string]float64)}
+}
+
+// Name implements Scheduler.
+func (f *FairShare) Name() string { return "fairshare" }
+
+// Clone implements Scheduler.
+func (f *FairShare) Clone() Scheduler {
+	c := &FairShare{HalfLife: f.HalfLife, lastTick: f.lastTick,
+		usage: make(map[string]float64, len(f.usage))}
+	for k, v := range f.usage {
+		c.usage[k] = v
+	}
+	return c
+}
+
+// Usage returns the user's current decayed usage (for tests and
+// inspection).
+func (f *FairShare) Usage(user string) float64 { return f.usage[user] }
+
+// decayTo ages the ledger to the given instant.
+func (f *FairShare) decayTo(now units.Time) {
+	if now <= f.lastTick {
+		return
+	}
+	factor := math.Exp2(-float64(now-f.lastTick) / float64(f.HalfLife))
+	for u := range f.usage {
+		f.usage[u] *= factor
+		if f.usage[u] < 1e-6 {
+			delete(f.usage, u)
+		}
+	}
+	f.lastTick = now
+}
+
+// order sorts the queue by ascending owner usage (lightest user first),
+// breaking ties by submission order.
+func (f *FairShare) order(queue []*job.Job) []*job.Job {
+	out := append([]*job.Job(nil), queue...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ua, ub := f.usage[a.User], f.usage[b.User]
+		if ua != ub {
+			return ua < ub
+		}
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// Schedule implements Scheduler: EASY backfilling over fair-share
+// order, charging each start to its owner.
+func (f *FairShare) Schedule(env Env) {
+	queue := env.Queue()
+	if len(queue) == 0 {
+		return
+	}
+	now := env.Now()
+	f.decayTo(now)
+	plan := env.Machine().Plan(now)
+	reservedOne := false
+	for _, j := range f.order(queue) {
+		ts, hint := plan.EarliestStart(j.Nodes, j.Walltime)
+		if ts == now && env.StartAt(j, hint) {
+			plan.Commit(j.Nodes, now, j.Walltime, hint)
+			f.usage[j.User] += float64(j.NodeSeconds())
+			continue
+		}
+		if ts == units.Forever {
+			continue
+		}
+		if !reservedOne {
+			plan.Commit(j.Nodes, ts, j.Walltime, hint)
+			reservedOne = true
+		}
+	}
+}

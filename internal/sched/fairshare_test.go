@@ -1,0 +1,108 @@
+package sched_test
+
+import (
+	"reflect"
+	"testing"
+
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sched/schedtest"
+	"amjs/internal/units"
+)
+
+func TestFairShareOrdersByUsage(t *testing.T) {
+	m := machine.NewFlat(10)
+	fs := sched.NewFairShare(units.Hour)
+
+	// Heavy user runs a big job first.
+	heavy := schedtest.J(1, 0, 10, 1000, 900)
+	heavy.User = "heavy"
+	env := schedtest.New(m, heavy)
+	fs.Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{1}) {
+		t.Fatalf("setup start failed: %v", env.StartedIDs())
+	}
+	if fs.Usage("heavy") != float64(10*900) {
+		t.Errorf("usage = %v", fs.Usage("heavy"))
+	}
+	env.Finish(heavy, 900)
+
+	// Both users queue identical jobs; the light user must start first.
+	env.T = 900
+	h2 := schedtest.J(2, 10, 10, 1000, 900)
+	h2.User = "heavy"
+	l1 := schedtest.J(3, 20, 10, 1000, 900)
+	l1.User = "light"
+	env.Waiting = append(env.Waiting, h2, l1)
+	fs.Schedule(env)
+	if got := env.StartedIDs(); len(got) != 2 || got[1] != 3 {
+		t.Errorf("light user did not start first: %v", got)
+	}
+}
+
+func TestFairShareDecay(t *testing.T) {
+	fs := sched.NewFairShare(units.Hour)
+	m := machine.NewFlat(10)
+	j := schedtest.J(1, 0, 10, 7200, 3600)
+	j.User = "u"
+	env := schedtest.New(m, j)
+	fs.Schedule(env)
+	before := fs.Usage("u")
+	// A pass two half-lives later quarters the usage.
+	env.Finish(j, 3600)
+	env.T = 2 * units.Time(units.Hour)
+	j2 := schedtest.J(2, 7200, 1, 60, 30)
+	j2.User = "v"
+	env.Waiting = append(env.Waiting, j2)
+	fs.Schedule(env)
+	after := fs.Usage("u")
+	want := before / 4
+	if after < want*0.9 || after > want*1.1 {
+		t.Errorf("decay: %v -> %v, want ~%v", before, after, want)
+	}
+}
+
+func TestFairShareBackfills(t *testing.T) {
+	// Same canonical EASY scenario: fair-share with fresh users reduces
+	// to FCFS order, so the backfill behaviour must match EASY.
+	m := machine.NewFlat(100)
+	m.TryStart(99, 60, 0, 100)
+	head := schedtest.J(1, 0, 80, 1000, 800)
+	fits := schedtest.J(2, 1, 20, 100, 80)
+	tooLong := schedtest.J(3, 2, 30, 5000, 4000)
+	env := schedtest.New(m, head, fits, tooLong)
+	sched.NewFairShare(units.Hour).Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{2}) {
+		t.Errorf("started %v, want [2]", env.StartedIDs())
+	}
+}
+
+func TestFairShareCloneCarriesLedger(t *testing.T) {
+	fs := sched.NewFairShare(units.Hour)
+	m := machine.NewFlat(10)
+	j := schedtest.J(1, 0, 10, 100, 50)
+	j.User = "u"
+	env := schedtest.New(m, j)
+	fs.Schedule(env)
+	c := fs.Clone().(*sched.FairShare)
+	if c.Usage("u") != fs.Usage("u") {
+		t.Error("clone lost ledger")
+	}
+	// Mutating the clone must not touch the original.
+	j2 := schedtest.J(2, 1, 1, 100, 50)
+	j2.User = "w"
+	env2 := schedtest.New(machine.NewFlat(10), j2)
+	c.Schedule(env2)
+	if fs.Usage("w") != 0 {
+		t.Error("clone schedule mutated original ledger")
+	}
+}
+
+func TestNewFairSharePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero half-life")
+		}
+	}()
+	sched.NewFairShare(0)
+}

@@ -1,0 +1,115 @@
+package sched_test
+
+import (
+	"reflect"
+	"testing"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sched/schedtest"
+)
+
+// Relaxed backfilling scenario: 100-node machine, 60 nodes busy until
+// t=100; the 80-node head is reserved at 100. A 30-node candidate with
+// walltime 150 would push the head to t=150 — a 50-second slip.
+func relaxedEnv() (*schedtest.Env, *job.Job, *job.Job) {
+	m := machine.NewFlat(100)
+	m.TryStart(99, 60, 0, 100)
+	head := schedtest.J(1, 0, 80, 1000, 900)
+	cand := schedtest.J(2, 1, 30, 150, 120)
+	return schedtest.New(m, head, cand), head, cand
+}
+
+func TestRelaxedAdmitsBoundedSlip(t *testing.T) {
+	// Strict EASY refuses the candidate.
+	env, _, _ := relaxedEnv()
+	sched.NewEASY().Schedule(env)
+	if len(env.Started) != 0 {
+		t.Fatalf("EASY started %v", env.StartedIDs())
+	}
+	// Slack 50 admits it (slip exactly 50).
+	env, _, _ = relaxedEnv()
+	sched.NewRelaxed(50).Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{2}) {
+		t.Errorf("slack 50 started %v, want [2]", env.StartedIDs())
+	}
+	// Slack 49 refuses it.
+	env, _, _ = relaxedEnv()
+	sched.NewRelaxed(49).Schedule(env)
+	if len(env.Started) != 0 {
+		t.Errorf("slack 49 started %v, want none", env.StartedIDs())
+	}
+}
+
+// The slack bounds the *total* slip from the original reservation:
+// several candidates may not each consume the slack anew.
+func TestRelaxedSlackIsTotal(t *testing.T) {
+	// Head needs 85 nodes, so any 20-node candidate running past t=100
+	// blocks it. c1 slips the head from 100 to 151 (within the 51-second
+	// slack); with c1 running, c2 would slip it to 202 — beyond the
+	// slack measured from the ORIGINAL reservation — and must wait.
+	m := machine.NewFlat(100)
+	m.TryStart(99, 60, 0, 100)
+	head := schedtest.J(1, 0, 85, 1000, 900)
+	c1 := schedtest.J(2, 1, 20, 150, 120)
+	c2 := schedtest.J(3, 2, 20, 200, 150)
+	env := schedtest.New(m, head, c1, c2)
+	sched.NewRelaxed(51).Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{2}) {
+		t.Errorf("started %v, want [2] only", env.StartedIDs())
+	}
+}
+
+// With zero slack the relaxed scheduler is plain EASY.
+func TestRelaxedZeroSlackIsEASY(t *testing.T) {
+	mk := func() *schedtest.Env {
+		m := machine.NewFlat(100)
+		m.TryStart(99, 60, 0, 100)
+		return schedtest.New(m,
+			schedtest.J(1, 0, 80, 1000, 800),
+			schedtest.J(2, 1, 20, 100, 80),
+			schedtest.J(3, 2, 30, 5000, 4000),
+		)
+	}
+	envE := mk()
+	sched.NewEASY().Schedule(envE)
+	envR := mk()
+	sched.NewRelaxed(0).Schedule(envR)
+	if !reflect.DeepEqual(envE.StartedIDs(), envR.StartedIDs()) {
+		t.Errorf("EASY %v != relaxed(0) %v", envE.StartedIDs(), envR.StartedIDs())
+	}
+}
+
+// Relaxed backfilling still starts the head itself when it fits.
+func TestRelaxedStartsHeadWhenFree(t *testing.T) {
+	m := machine.NewFlat(100)
+	env := schedtest.New(m, schedtest.J(1, 0, 50, 100, 80))
+	sched.NewRelaxed(60).Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{1}) {
+		t.Errorf("started %v", env.StartedIDs())
+	}
+}
+
+func TestRelaxedOnPartitionMachine(t *testing.T) {
+	// 8x64 machine; [0,4) busy until 100; full-machine head reserved at
+	// 100. Candidate on [4,8) with walltime 160 slips the head to 160.
+	m := machine.NewPartition(8, 64)
+	if _, ok := m.TryStartAt(99, 256, 0, 100, 0); !ok {
+		t.Fatal("setup failed")
+	}
+	head := schedtest.J(1, 0, 512, 400, 300)
+	cand := schedtest.J(2, 1, 256, 160, 120)
+	env := schedtest.New(m, head, cand)
+	sched.NewRelaxed(60).Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{2}) {
+		t.Errorf("slack 60 on partition started %v, want [2]", env.StartedIDs())
+	}
+	env2 := schedtest.New(m.Clone(), head.Clone(), cand.Clone())
+	env2.Waiting[0].State = job.Queued
+	env2.Waiting[1].State = job.Queued
+	sched.NewRelaxed(59).Schedule(env2)
+	if len(env2.Started) != 0 {
+		t.Errorf("slack 59 on partition started %v", env2.StartedIDs())
+	}
+}

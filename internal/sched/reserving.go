@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// Reserving is the family of backfilling schedulers built on machine
+// plans. It walks the queue in policy order; jobs that fit start
+// immediately, blocked jobs receive reservations, and later jobs may
+// start now only if doing so delays no reservation (checked exactly
+// against the plan, which generalizes EASY's shadow-time/extra-node rule
+// to contiguous partitioned machines).
+//
+//   - Conservative = false: only the first blocked job is reserved —
+//     EASY backfilling (Mu'alem & Feitelson).
+//   - Conservative = true: every blocked job is reserved — conservative
+//     backfilling.
+type Reserving struct {
+	PolicyName   string
+	Order        Order
+	Conservative bool
+
+	// RelaxSlack implements the relaxed backfilling of Ward, Mahood &
+	// West (JSSPP 2002), cited in the paper's related work: a backfill
+	// job may start even when it delays the protected reservation,
+	// provided the reservation slips by no more than the slack from its
+	// original time. Zero means strict EASY. Ignored in conservative
+	// mode.
+	RelaxSlack units.Duration
+}
+
+// NewRelaxed returns relaxed backfilling over FCFS order with the given
+// total reservation slack.
+func NewRelaxed(slack units.Duration) *Reserving {
+	return &Reserving{PolicyName: "relaxed-fcfs", Order: SubmitOrder, RelaxSlack: slack}
+}
+
+// NewEASY returns EASY backfilling over FCFS order — the prevailing
+// production default the paper uses as its baseline.
+func NewEASY() *Reserving {
+	return &Reserving{PolicyName: "easy-fcfs", Order: SubmitOrder}
+}
+
+// NewConservative returns conservative backfilling over FCFS order.
+func NewConservative() *Reserving {
+	return &Reserving{PolicyName: "conservative-fcfs", Order: SubmitOrder, Conservative: true}
+}
+
+// NewWFP returns the Cobalt-style utility-function policy (WFP3 scoring)
+// with EASY backfilling.
+func NewWFP() *Reserving {
+	return &Reserving{PolicyName: "wfp", Order: WFPOrder}
+}
+
+// NewEASYWith returns EASY backfilling over an arbitrary queue order.
+func NewEASYWith(name string, order Order) *Reserving {
+	return &Reserving{PolicyName: name, Order: order}
+}
+
+// Name implements Scheduler.
+func (r *Reserving) Name() string { return r.PolicyName }
+
+// Clone implements Scheduler.
+func (r *Reserving) Clone() Scheduler {
+	c := *r
+	return &c
+}
+
+// Schedule implements Scheduler.
+func (r *Reserving) Schedule(env Env) {
+	queue := env.Queue()
+	if len(queue) == 0 {
+		return
+	}
+	if r.RelaxSlack > 0 && !r.Conservative {
+		r.scheduleRelaxed(env, queue)
+		return
+	}
+	now := env.Now()
+	plan := env.Machine().Plan(now)
+	reservedOne := false
+	for _, j := range r.Order(now, queue) {
+		ts, hint := plan.EarliestStart(j.Nodes, j.Walltime)
+		if ts == now && env.StartAt(j, hint) {
+			plan.Commit(j.Nodes, now, j.Walltime, hint)
+			continue
+		}
+		if ts == units.Forever {
+			continue // can never run; the engine screens these out on arrival
+		}
+		if r.Conservative || !reservedOne {
+			plan.Commit(j.Nodes, ts, j.Walltime, hint)
+			reservedOne = true
+		}
+	}
+}
+
+// scheduleRelaxed is the relaxed-backfilling pass: the protected
+// reservation is not committed into the plan; instead each backfill
+// candidate is admitted iff, with the candidate running, the protected
+// job could still start within RelaxSlack of its original reservation.
+func (r *Reserving) scheduleRelaxed(env Env, queue []*job.Job) {
+	now := env.Now()
+	free := env.Machine().Plan(now) // running jobs + admitted starts only
+	var resJob *job.Job
+	var resOrigin units.Time
+	for _, j := range r.Order(now, queue) {
+		ts, hint := free.EarliestStart(j.Nodes, j.Walltime)
+		if ts == units.Forever {
+			continue
+		}
+		if resJob == nil {
+			if ts == now && env.StartAt(j, hint) {
+				free.Commit(j.Nodes, now, j.Walltime, hint)
+				continue
+			}
+			resJob, resOrigin = j, ts
+			continue
+		}
+		if ts != now {
+			continue
+		}
+		// Candidate fits now when the reservation is ignored: admit it
+		// only if the reservation slips by at most the slack.
+		probe := free.Clone()
+		probe.Commit(j.Nodes, now, j.Walltime, hint)
+		slipped, _ := probe.EarliestStart(resJob.Nodes, resJob.Walltime)
+		if slipped > resOrigin.Add(r.RelaxSlack) {
+			continue
+		}
+		if env.StartAt(j, hint) {
+			free.Commit(j.Nodes, now, j.Walltime, hint)
+		}
+	}
+}
+
+// ReservationFor exposes, for tests and diagnostics, the start time the
+// head job of the given queue order would be reserved at.
+func (r *Reserving) ReservationFor(env Env, j *job.Job) units.Time {
+	ts, _ := env.Machine().Plan(env.Now()).EarliestStart(j.Nodes, j.Walltime)
+	return ts
+}

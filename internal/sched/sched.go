@@ -1,0 +1,183 @@
+// Package sched defines the scheduler interface the simulator drives
+// and implements the classic baseline policies the paper compares
+// against: FCFS/SJF/LJF list scheduling, EASY and conservative
+// backfilling, a Cobalt-style utility-function policy, and a
+// dynP-style self-tuning policy switcher.
+//
+// The paper's own contribution — metric-aware windowed scheduling with
+// adaptive policy tuning — lives in package core and implements the
+// same interface.
+package sched
+
+import (
+	"sort"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/units"
+)
+
+// Env is the scheduler's view of the system during one scheduling pass.
+// It is implemented by the simulation engine (and by a live resource
+// manager, in principle).
+type Env interface {
+	// Now is the current simulated instant.
+	Now() units.Time
+
+	// Machine is the resource being scheduled. Schedulers may query it
+	// and obtain Plans, but must start jobs only through Start/StartAt.
+	Machine() machine.Machine
+
+	// Queue returns the waiting jobs in submission order. The slice is
+	// the scheduler's to reorder; the jobs are shared.
+	Queue() []*job.Job
+
+	// Start begins a job now with default placement, returning false if
+	// it does not fit. On success the job leaves the queue.
+	Start(j *job.Job) bool
+
+	// StartAt begins a job now at the placement hint previously obtained
+	// from a machine Plan.
+	StartAt(j *job.Job, hint int) bool
+}
+
+// Scheduler decides which queued jobs start as the simulation advances.
+// Schedule is invoked after every batch of simultaneous events (arrivals
+// and completions) and after checkpoints.
+type Scheduler interface {
+	// Name identifies the policy configuration, e.g. "easy-fcfs" or
+	// "metric-aware(bf=0.5,w=4)".
+	Name() string
+
+	// Schedule examines the environment and starts zero or more jobs.
+	Schedule(env Env)
+
+	// Clone returns an independent copy with the same configuration and
+	// current tuning state (used for nested fairness simulations).
+	Clone() Scheduler
+}
+
+// MetricsView exposes the monitored runtime metrics that adaptive
+// policies consume at checkpoints.
+type MetricsView interface {
+	// QueueDepthMinutes is the paper's queue-depth metric: the sum of
+	// the waiting times accumulated so far by all currently queued jobs,
+	// in minutes.
+	QueueDepthMinutes() float64
+
+	// UtilWindowAvg is the machine utilization averaged over the
+	// trailing window (1.0 = fully busy), clipped at the trace start.
+	UtilWindowAvg(w units.Duration) float64
+}
+
+// Adaptive is implemented by schedulers that retune themselves from
+// monitored metrics. The engine calls Checkpoint every checking
+// interval C_i, before the subsequent scheduling pass.
+type Adaptive interface {
+	Scheduler
+	Checkpoint(env Env, m MetricsView)
+}
+
+// Order sorts a queue snapshot into scheduling order (most urgent
+// first), returning a new slice. Implementations must be deterministic;
+// ties are conventionally broken by submission time then ID.
+type Order func(now units.Time, queue []*job.Job) []*job.Job
+
+// sortBy copies queue and sorts it by less, breaking ties by
+// (submit, ID) so that every Order is a total, deterministic order.
+func sortBy(queue []*job.Job, less func(a, b *job.Job) int) []*job.Job {
+	out := append([]*job.Job(nil), queue...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := less(a, b); c != 0 {
+			return c < 0
+		}
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// SubmitOrder is first-come, first-served.
+func SubmitOrder(_ units.Time, queue []*job.Job) []*job.Job {
+	return sortBy(queue, func(a, b *job.Job) int { return 0 })
+}
+
+// ShortestFirst orders by requested walltime, shortest first (SJF).
+func ShortestFirst(_ units.Time, queue []*job.Job) []*job.Job {
+	return sortBy(queue, func(a, b *job.Job) int {
+		switch {
+		case a.Walltime < b.Walltime:
+			return -1
+		case a.Walltime > b.Walltime:
+			return 1
+		}
+		return 0
+	})
+}
+
+// LongestFirst orders by requested walltime, longest first (LJF).
+func LongestFirst(_ units.Time, queue []*job.Job) []*job.Job {
+	return sortBy(queue, func(a, b *job.Job) int {
+		switch {
+		case a.Walltime > b.Walltime:
+			return -1
+		case a.Walltime < b.Walltime:
+			return 1
+		}
+		return 0
+	})
+}
+
+// LargestFirst orders by node request, largest first.
+func LargestFirst(_ units.Time, queue []*job.Job) []*job.Job {
+	return sortBy(queue, func(a, b *job.Job) int {
+		switch {
+		case a.Nodes > b.Nodes:
+			return -1
+		case a.Nodes < b.Nodes:
+			return 1
+		}
+		return 0
+	})
+}
+
+// MaxExpansionFirst orders by expansion factor (wait+walltime)/walltime,
+// largest first — the classic compromise policy mentioned in the paper's
+// introduction.
+func MaxExpansionFirst(now units.Time, queue []*job.Job) []*job.Job {
+	xf := func(j *job.Job) float64 {
+		return float64(j.WaitAt(now)+j.Walltime) / float64(j.Walltime)
+	}
+	return sortBy(queue, func(a, b *job.Job) int {
+		av, bv := xf(a), xf(b)
+		switch {
+		case av > bv:
+			return -1
+		case av < bv:
+			return 1
+		}
+		return 0
+	})
+}
+
+// WFPOrder is the Cobalt-style utility function (WFP3): jobs score
+// (wait/walltime)^3 * nodes, so long-waiting, short, and large jobs rise.
+func WFPOrder(now units.Time, queue []*job.Job) []*job.Job {
+	score := func(j *job.Job) float64 {
+		r := float64(j.WaitAt(now)) / float64(j.Walltime)
+		return r * r * r * float64(j.Nodes)
+	}
+	return sortBy(queue, func(a, b *job.Job) int {
+		av, bv := score(a), score(b)
+		switch {
+		case av > bv:
+			return -1
+		case av < bv:
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"fmt"
+
+	"amjs/internal/expr"
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// UtilityVars are the job attributes a utility expression may use.
+var UtilityVars = []string{"wait", "walltime", "nodes", "queued", "submit"}
+
+// NewUtility compiles a Cobalt-style utility expression into a
+// scheduler: each pass, every queued job is scored by the expression
+// and the queue is served highest-score first with EASY backfilling.
+// The classic WFP policy is NewUtility("(wait/walltime)^3 * nodes").
+//
+// Available variables: wait (seconds queued), walltime (requested
+// seconds), nodes (requested nodes), queued (queue length), submit
+// (submission instant, seconds).
+// Functions: log, log10, sqrt, abs, min, max, pow.
+func NewUtility(src string) (*Reserving, error) {
+	compiled, err := expr.Parse(src, UtilityVars...)
+	if err != nil {
+		return nil, err
+	}
+	order := func(now units.Time, queue []*job.Job) []*job.Job {
+		score := make(map[*job.Job]float64, len(queue))
+		env := expr.Env{"queued": float64(len(queue))}
+		for _, j := range queue {
+			env["wait"] = float64(j.WaitAt(now))
+			env["walltime"] = float64(j.Walltime)
+			env["nodes"] = float64(j.Nodes)
+			env["submit"] = float64(j.Submit)
+			score[j] = compiled.Eval(env)
+		}
+		return sortBy(queue, func(a, b *job.Job) int {
+			switch {
+			case score[a] > score[b]:
+				return -1
+			case score[a] < score[b]:
+				return 1
+			}
+			return 0
+		})
+	}
+	return &Reserving{
+		PolicyName: fmt.Sprintf("utility(%s)", src),
+		Order:      order,
+	}, nil
+}

@@ -1,0 +1,70 @@
+package sched_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sched/schedtest"
+)
+
+func TestUtilityMatchesWFP(t *testing.T) {
+	// The compiled WFP expression must order a queue identically to the
+	// built-in WFP policy.
+	u, err := sched.NewUtility("(wait/walltime)^3 * nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := []*job.Job{
+		schedtest.J(1, 0, 10, 1000, 500),
+		schedtest.J(2, 50, 80, 100, 50),
+		schedtest.J(3, 90, 40, 500, 200),
+	}
+	got := ids(u.Order(100, queue))
+	want := ids(sched.WFPOrder(100, queue))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("utility order %v != WFP order %v", got, want)
+	}
+	if !strings.Contains(u.Name(), "utility(") {
+		t.Errorf("Name = %q", u.Name())
+	}
+}
+
+func TestUtilitySchedulesAndBackfills(t *testing.T) {
+	u, err := sched.NewUtility("wait") // FCFS by age
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewFlat(100)
+	m.TryStart(99, 60, 0, 100)
+	head := schedtest.J(1, 0, 80, 1000, 800)
+	fits := schedtest.J(2, 1, 20, 100, 80)
+	env := schedtest.New(m, head, fits)
+	env.T = 50
+	u.Schedule(env)
+	if !reflect.DeepEqual(env.StartedIDs(), []int{2}) {
+		t.Errorf("utility started %v, want [2]", env.StartedIDs())
+	}
+}
+
+func TestUtilityRejectsBadExpressions(t *testing.T) {
+	for _, src := range []string{"wait +", "bogus_var", "machine_nodes"} {
+		if _, err := sched.NewUtility(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestUtilityCloneIndependent(t *testing.T) {
+	u, err := sched.NewUtility("nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := u.Clone()
+	if c.Name() != u.Name() {
+		t.Error("clone name differs")
+	}
+}

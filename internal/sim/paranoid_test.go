@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"amjs/internal/core"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// TestParanoidFullSweep replays a realistic trace under every scheduler
+// family with engine invariant checking enabled on all three machine
+// models — the broadest structural soak test in the suite.
+func TestParanoidFullSweep(t *testing.T) {
+	cfg := workload.Mini(29)
+	cfg.MaxJobs = 100
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []func() machine.Machine{
+		func() machine.Machine { return machine.NewFlat(512) },
+		func() machine.Machine { return machine.NewPartition(8, 64) },
+		func() machine.Machine { return machine.NewTorus(2, 2, 2, 64) },
+	}
+	policies := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewEASY() },
+		func() sched.Scheduler { return sched.NewConservative() },
+		func() sched.Scheduler { return sched.NewRelaxed(10 * units.Minute) },
+		func() sched.Scheduler { return sched.NewFairShare(6 * units.Hour) },
+		func() sched.Scheduler { return sched.NewDynP() },
+		func() sched.Scheduler { return core.NewMetricAware(0.5, 3) },
+		func() sched.Scheduler { return core.NewTuner(core.PaperBFScheme(300), core.PaperWScheme()) },
+	}
+	for _, mk := range machines {
+		for _, ps := range policies {
+			p := ps()
+			res, err := Run(Config{
+				Machine:   mk(),
+				Scheduler: p,
+				Paranoid:  true,
+			}, jobs)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), mk().Name(), err)
+			}
+			if len(res.Jobs) != len(jobs) {
+				t.Errorf("%s on %s: %d of %d jobs", p.Name(), mk().Name(), len(res.Jobs), len(jobs))
+			}
+		}
+	}
+}

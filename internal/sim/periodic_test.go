@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sched/schedtest"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// In periodic mode a job arriving between ticks waits for the next
+// tick; in event-driven mode it starts immediately.
+func TestPeriodicSchedulingDelaysToTick(t *testing.T) {
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 4, 600, 300),  // arrives on the first tick
+		schedtest.J(2, 13, 4, 600, 300), // arrives 3 s after the t=10 tick
+	}
+	res := run(t, Config{
+		Machine:        machine.NewFlat(10),
+		Scheduler:      sched.NewEASY(),
+		SchedulePeriod: 10,
+	}, jobs)
+	byID := job.ByID(res.Jobs)
+	if byID[1].Start != 0 {
+		t.Errorf("job 1 started at %v, want 0 (tick at first submit)", byID[1].Start)
+	}
+	if byID[2].Start != 20 {
+		t.Errorf("job 2 started at %v, want 20 (next tick)", byID[2].Start)
+	}
+
+	// Event-driven control: both start on arrival.
+	ctl := run(t, Config{Machine: machine.NewFlat(10), Scheduler: sched.NewEASY()}, jobs)
+	if job.ByID(ctl.Jobs)[2].Start != 13 {
+		t.Errorf("event-driven job 2 started at %v, want 13", job.ByID(ctl.Jobs)[2].Start)
+	}
+}
+
+// A completion between ticks frees nodes, but the successor starts only
+// on the next tick.
+func TestPeriodicSchedulingAfterCompletion(t *testing.T) {
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 10, 100, 95), // ends at 95, between ticks
+		schedtest.J(2, 1, 10, 100, 50),
+	}
+	res := run(t, Config{
+		Machine:        machine.NewFlat(10),
+		Scheduler:      sched.NewFCFS(),
+		SchedulePeriod: 30,
+	}, jobs)
+	byID := job.ByID(res.Jobs)
+	if byID[2].Start != 120 { // ticks at 0,30,60,90,120; nodes free at 95
+		t.Errorf("job 2 started at %v, want 120", byID[2].Start)
+	}
+}
+
+// Periodic mode must complete realistic traces under every scheduler
+// family and keep the fairness oracle consistent (the oracle inherits
+// the tick cadence).
+func TestPeriodicFullTrace(t *testing.T) {
+	cfg := workload.Mini(31)
+	cfg.MaxJobs = 80
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []sched.Scheduler{
+		sched.NewEASY(),
+		sched.NewFairShare(6 * units.Hour),
+	} {
+		res, err := Run(Config{
+			Machine:        machine.NewPartition(8, 64),
+			Scheduler:      s,
+			SchedulePeriod: 10,
+			Fairness:       true,
+			Paranoid:       true,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Errorf("%s: completed %d of %d", s.Name(), len(res.Jobs), len(jobs))
+		}
+	}
+}
+
+// The 10-second production cadence must cost only seconds of average
+// wait relative to event-driven scheduling — the practicality point
+// behind Table III's "a scheduling iteration every 10 seconds".
+func TestPeriodicCloseToEventDriven(t *testing.T) {
+	cfg := workload.Mini(33)
+	cfg.MaxJobs = 100
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := run(t, Config{Machine: machine.NewPartition(8, 64), Scheduler: sched.NewEASY()}, jobs)
+	pe := run(t, Config{
+		Machine: machine.NewPartition(8, 64), Scheduler: sched.NewEASY(),
+		SchedulePeriod: 10,
+	}, jobs)
+	diff := pe.Metrics.AvgWaitMinutes() - ev.Metrics.AvgWaitMinutes()
+	if diff < -1 || diff > 5 {
+		t.Errorf("periodic wait differs by %.2f min from event-driven", diff)
+	}
+}

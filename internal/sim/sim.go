@@ -1,0 +1,485 @@
+// Package sim is the event-driven job-scheduling simulator — the
+// reproduction of the evaluation vehicle the paper uses (Cobalt's
+// qsim). It replays a workload trace against a machine model under a
+// pluggable scheduling policy, collects the paper's metrics, fires
+// checkpoints for adaptive policy tuning, and runs the nested
+// no-later-arrival simulations behind the fairness metric.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"amjs/internal/eventq"
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/metrics"
+	"amjs/internal/sched"
+	"amjs/internal/units"
+)
+
+// Event kinds, ordered so that simultaneous events resolve as:
+// completions first (freed nodes become visible), then arrivals, then
+// scheduling ticks and checkpoints (monitors see the post-arrival
+// state).
+const (
+	evEnd = iota
+	evArrive
+	evTick
+	evCheckpoint
+)
+
+// DefaultCheckInterval is the paper's checking interval C_i (Table I).
+const DefaultCheckInterval = 30 * units.Minute
+
+// DefaultFairnessTolerance is the slack added to a job's fair start
+// time before the job counts as unfairly treated.
+const DefaultFairnessTolerance = units.Minute
+
+// maxEvents bounds a single simulation as a guard against scheduler
+// livelock bugs; production traces stay far below it.
+const maxEvents = 50_000_000
+
+// Config describes one simulation run.
+type Config struct {
+	// Machine is the resource model; it is cloned, never mutated.
+	Machine machine.Machine
+
+	// Scheduler is the policy under test; it is cloned, never mutated.
+	Scheduler sched.Scheduler
+
+	// CheckInterval is the checkpoint period C_i (monitors sample and
+	// adaptive policies retune). Defaults to 30 minutes.
+	CheckInterval units.Duration
+
+	// SchedulePeriod switches the engine from pure event-driven
+	// scheduling (a pass after every event batch — the default, 0) to
+	// the production resource manager's cadence: scheduling passes run
+	// only on a periodic tick (Cobalt uses ~10 s, as §IV-D notes), so a
+	// job arriving between ticks starts no earlier than the next tick.
+	SchedulePeriod units.Duration
+
+	// Fairness enables the fair-start-time oracle: every submission
+	// spawns a nested no-later-arrival simulation under the current
+	// policy. Accurate but costly; leave off when the unfair-job count
+	// is not needed.
+	Fairness bool
+
+	// FairnessTolerance is the slack beyond the fair start before a job
+	// counts as unfair. Defaults to one minute.
+	FairnessTolerance units.Duration
+
+	// Paranoid makes the engine verify its invariants after every
+	// scheduling step (machine conservation, queue/running disjointness,
+	// clock monotonicity) and panic on violation. Used by the test
+	// suite; costs a few percent of runtime.
+	Paranoid bool
+
+	// Trace, when non-nil, receives one line per simulation event
+	// (arrivals, starts, completions, checkpoints) — a debugging and
+	// teaching aid, not a metrics path.
+	Trace io.Writer
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Policy   string
+	Jobs     []*job.Job // accepted jobs, all completed, in input order
+	Rejected []*job.Job // jobs that could never fit the machine
+	Metrics  *metrics.Collector
+
+	// FairStarts maps job ID to oracle fair start time (when enabled).
+	FairStarts map[int]units.Time
+
+	// Makespan is the span from the first submission to the last
+	// completion.
+	Makespan units.Duration
+}
+
+// Run simulates the workload under the configuration. The input jobs
+// are cloned; the caller's slice is not modified.
+func Run(cfg Config, jobs []*job.Job) (*Result, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("sim: no machine configured")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: no scheduler configured")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = DefaultCheckInterval
+	}
+	if cfg.FairnessTolerance <= 0 {
+		cfg.FairnessTolerance = DefaultFairnessTolerance
+	}
+
+	m := cfg.Machine.Clone()
+	e := &engine{
+		cfg:        cfg,
+		machine:    m,
+		scheduler:  cfg.Scheduler.Clone(),
+		running:    make(map[*job.Job]machine.Alloc),
+		collector:  metrics.NewCollector(m.TotalNodes()),
+		fairStarts: make(map[int]units.Time),
+	}
+
+	var accepted, rejected []*job.Job
+	for i, src := range jobs {
+		if err := src.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: job %d: %w", i, err)
+		}
+		j := src.Clone()
+		j.State = job.Submitted
+		if !m.CanFitEver(j.Nodes) {
+			rejected = append(rejected, j)
+			continue
+		}
+		accepted = append(accepted, j)
+		e.events.Push(j.Submit, evArrive, j)
+	}
+	if len(accepted) > 0 {
+		first := accepted[0].Submit
+		for _, j := range accepted {
+			if j.Submit < first {
+				first = j.Submit
+			}
+		}
+		e.events.Push(first.Add(cfg.CheckInterval), evCheckpoint, nil)
+		if cfg.SchedulePeriod > 0 {
+			e.events.Push(first, evTick, nil)
+		}
+	}
+
+	if err := e.run(nil); err != nil {
+		return nil, err
+	}
+	for _, j := range accepted {
+		if j.State != job.Finished && j.State != job.Killed {
+			return nil, fmt.Errorf("sim: job %d never completed (state %v)", j.ID, j.State)
+		}
+	}
+
+	res := &Result{
+		Policy:     e.scheduler.Name(),
+		Jobs:       accepted,
+		Rejected:   rejected,
+		Metrics:    e.collector,
+		FairStarts: e.fairStarts,
+	}
+	if len(accepted) > 0 {
+		firstSubmit, lastEnd := accepted[0].Submit, accepted[0].End
+		for _, j := range accepted {
+			if j.Submit < firstSubmit {
+				firstSubmit = j.Submit
+			}
+			if j.End > lastEnd {
+				lastEnd = j.End
+			}
+		}
+		res.Makespan = lastEnd.Sub(firstSubmit)
+	}
+	return res, nil
+}
+
+// engine is one simulation instance. It implements sched.Env and
+// sched.MetricsView.
+type engine struct {
+	cfg        Config
+	now        units.Time
+	machine    machine.Machine
+	scheduler  sched.Scheduler
+	events     eventq.Queue[*job.Job]
+	queue      []*job.Job // waiting jobs in arrival order
+	running    map[*job.Job]machine.Alloc
+	collector  *metrics.Collector
+	fairStarts map[int]units.Time
+	sub        bool // nested fairness simulation: no checkpoints, no oracle
+}
+
+// run drives the event loop until no events remain or stop returns true
+// (used by nested simulations to halt once the target job starts).
+func (e *engine) run(stop func() bool) error {
+	processed := 0
+	for {
+		if stop != nil && stop() {
+			return nil
+		}
+		next, ok := e.events.Peek()
+		if !ok {
+			return nil
+		}
+		e.now = next.Time
+		checkpoint := false
+		tick := false
+		var arrivedNow []*job.Job
+
+		// Drain every event at this instant before scheduling once.
+		for {
+			it, ok := e.events.Peek()
+			if !ok || it.Time != e.now {
+				break
+			}
+			it, _ = e.events.Pop()
+			processed++
+			if processed > maxEvents {
+				return fmt.Errorf("sim: exceeded %d events at t=%v (scheduler livelock?)", maxEvents, e.now)
+			}
+			switch it.Kind {
+			case evEnd:
+				e.finish(it.Payload)
+				e.trace("end job=%d", it.Payload.ID)
+			case evArrive:
+				j := it.Payload
+				j.State = job.Queued
+				e.queue = append(e.queue, j)
+				arrivedNow = append(arrivedNow, j)
+				e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
+			case evTick:
+				tick = true
+			case evCheckpoint:
+				checkpoint = true
+			}
+		}
+
+		// Fairness oracle: fair start times are defined at submission,
+		// before this instant's scheduling pass.
+		if e.cfg.Fairness && !e.sub {
+			for _, j := range arrivedNow {
+				e.fairStarts[j.ID] = e.fairStartOf(j)
+			}
+		}
+
+		if checkpoint && !e.sub {
+			bf, w, hasTunables := e.tunables()
+			e.collector.OnCheckpoint(e.now, e.Queue(), bf, w, hasTunables)
+			if hasTunables {
+				e.trace("checkpoint queue=%d bf=%g w=%d", len(e.queue), bf, w)
+			} else {
+				e.trace("checkpoint queue=%d", len(e.queue))
+			}
+			if ad, ok := e.scheduler.(sched.Adaptive); ok {
+				ad.Checkpoint(e, e)
+			}
+			if e.events.Len() > 0 || len(e.queue) > 0 || len(e.running) > 0 {
+				e.events.Push(e.now.Add(e.cfg.CheckInterval), evCheckpoint, nil)
+			}
+		}
+
+		// Event-driven mode schedules after every batch; periodic mode
+		// only on ticks (and at checkpoints, where the policy may have
+		// just been retuned).
+		if e.cfg.SchedulePeriod <= 0 || tick || checkpoint {
+			e.scheduler.Schedule(e)
+		}
+		if tick && (e.events.Len() > 0 || len(e.queue) > 0 || len(e.running) > 0) {
+			e.events.Push(e.now.Add(e.cfg.SchedulePeriod), evTick, nil)
+		}
+
+		if !e.sub {
+			e.collector.OnScheduleStep(e.now, e.machine.BusyNodes(), e.machine.UsedNodes(), e.queuedJobFitsIdle())
+		}
+		if e.cfg.Paranoid {
+			e.checkInvariants()
+		}
+	}
+}
+
+// checkInvariants asserts the engine's structural invariants; any
+// violation is a simulator bug, not an input error.
+func (e *engine) checkInvariants() {
+	m := e.machine
+	if m.BusyNodes()+m.IdleNodes() != m.TotalNodes() {
+		panic(fmt.Sprintf("sim: node conservation violated at t=%v: busy %d + idle %d != %d",
+			e.now, m.BusyNodes(), m.IdleNodes(), m.TotalNodes()))
+	}
+	if m.UsedNodes() > m.BusyNodes() {
+		panic(fmt.Sprintf("sim: used nodes %d exceed busy nodes %d", m.UsedNodes(), m.BusyNodes()))
+	}
+	if m.RunningCount() != len(e.running) {
+		panic(fmt.Sprintf("sim: machine has %d allocations, engine tracks %d", m.RunningCount(), len(e.running)))
+	}
+	for _, q := range e.queue {
+		if q.State != job.Queued {
+			panic(fmt.Sprintf("sim: job %d in queue with state %v", q.ID, q.State))
+		}
+		if _, running := e.running[q]; running {
+			panic(fmt.Sprintf("sim: job %d both queued and running", q.ID))
+		}
+	}
+	for r := range e.running {
+		if r.State != job.Running {
+			panic(fmt.Sprintf("sim: job %d in running set with state %v", r.ID, r.State))
+		}
+		if r.Start > e.now || r.Start.Add(r.Walltime) < e.now {
+			panic(fmt.Sprintf("sim: job %d running outside its window at t=%v", r.ID, e.now))
+		}
+	}
+}
+
+// trace emits a debug line when tracing is enabled (never in nested
+// fairness simulations).
+func (e *engine) trace(format string, args ...any) {
+	if e.cfg.Trace == nil || e.sub {
+		return
+	}
+	fmt.Fprintf(e.cfg.Trace, "%10d %s\n", int64(e.now), fmt.Sprintf(format, args...))
+}
+
+// tunables extracts the scheduler's current policy parameters when it
+// exposes them (the metric-aware scheduler and its tuner do).
+func (e *engine) tunables() (float64, int, bool) {
+	type tunabled interface{ Tunables() (float64, int) }
+	if t, ok := e.scheduler.(tunabled); ok {
+		bf, w := t.Tunables()
+		return bf, w, true
+	}
+	return 0, 0, false
+}
+
+// queuedJobFitsIdle reports whether some waiting job requests no more
+// than the idle node count — Eq. 4's δ condition.
+func (e *engine) queuedJobFitsIdle() bool {
+	idle := e.machine.IdleNodes()
+	for _, j := range e.queue {
+		if j.Nodes <= idle {
+			return true
+		}
+	}
+	return false
+}
+
+// finish completes a running job.
+func (e *engine) finish(j *job.Job) {
+	alloc, ok := e.running[j]
+	if !ok {
+		panic(fmt.Sprintf("sim: end event for job %d which is not running", j.ID))
+	}
+	e.machine.Release(alloc, e.now)
+	delete(e.running, j)
+	j.End = e.now
+	if j.Runtime > j.Walltime {
+		j.State = job.Killed
+	} else {
+		j.State = job.Finished
+	}
+	if !e.sub {
+		e.collector.OnJobEnd(j)
+	}
+}
+
+// Now implements sched.Env.
+func (e *engine) Now() units.Time { return e.now }
+
+// Machine implements sched.Env.
+func (e *engine) Machine() machine.Machine { return e.machine }
+
+// Queue implements sched.Env.
+func (e *engine) Queue() []*job.Job { return append([]*job.Job(nil), e.queue...) }
+
+// Start implements sched.Env.
+func (e *engine) Start(j *job.Job) bool {
+	a, ok := e.machine.TryStart(j.ID, j.Nodes, e.now, j.Walltime)
+	if !ok {
+		return false
+	}
+	e.begin(j, a)
+	return true
+}
+
+// StartAt implements sched.Env.
+func (e *engine) StartAt(j *job.Job, hint int) bool {
+	a, ok := e.machine.TryStartAt(j.ID, j.Nodes, e.now, j.Walltime, hint)
+	if !ok {
+		return false
+	}
+	e.begin(j, a)
+	return true
+}
+
+func (e *engine) begin(j *job.Job, a machine.Alloc) {
+	if j.State != job.Queued {
+		panic(fmt.Sprintf("sim: starting job %d in state %v", j.ID, j.State))
+	}
+	j.State = job.Running
+	j.Start = e.now
+	e.running[j] = a
+	for i, q := range e.queue {
+		if q == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	effective := j.Runtime
+	if effective > j.Walltime {
+		effective = j.Walltime // killed at the limit
+	}
+	e.events.Push(e.now.Add(effective), evEnd, j)
+	e.trace("start job=%d nodes=%d wait=%v", j.ID, j.Nodes, j.Wait())
+
+	if !e.sub {
+		fair, known := e.fairStarts[j.ID]
+		e.collector.OnJobStart(j, fair, e.cfg.FairnessTolerance, known && e.cfg.Fairness)
+	}
+}
+
+// QueueDepthMinutes implements sched.MetricsView.
+func (e *engine) QueueDepthMinutes() float64 {
+	return metrics.QueueDepthMinutes(e.now, e.queue)
+}
+
+// UtilWindowAvg implements sched.MetricsView.
+func (e *engine) UtilWindowAvg(w units.Duration) float64 {
+	return e.collector.UtilWindowAvg(e.now, w)
+}
+
+// fairStartOf computes the target job's fair start time: the start it
+// would get if no job arrived after it, under the current policy with
+// its current tuning, from the current machine state (Sabin et al.'s
+// definition, as used by the paper). The entire engine state is cloned;
+// the nested run fires no checkpoints, so adaptive policies stay frozen.
+func (e *engine) fairStartOf(target *job.Job) units.Time {
+	clones := make(map[*job.Job]*job.Job, len(e.queue)+len(e.running))
+	cloneOf := func(j *job.Job) *job.Job {
+		c, ok := clones[j]
+		if !ok {
+			c = j.Clone()
+			clones[j] = c
+		}
+		return c
+	}
+
+	sub := &engine{
+		cfg:       e.cfg,
+		now:       e.now,
+		machine:   e.machine.Clone(),
+		scheduler: e.scheduler.Clone(),
+		running:   make(map[*job.Job]machine.Alloc, len(e.running)),
+		collector: e.collector, // read-only use (UtilWindowAvg); never written in sub runs
+		sub:       true,
+	}
+	for _, j := range e.queue {
+		sub.queue = append(sub.queue, cloneOf(j))
+	}
+	for j, a := range e.running {
+		c := cloneOf(j)
+		sub.running[c] = a // machine clone preserves allocation handles
+		effective := c.Runtime
+		if effective > c.Walltime {
+			effective = c.Walltime
+		}
+		sub.events.Push(c.Start.Add(effective), evEnd, c)
+	}
+
+	if e.cfg.SchedulePeriod > 0 {
+		sub.events.Push(e.now, evTick, nil)
+	}
+
+	t := cloneOf(target)
+	if err := sub.run(func() bool { return t.State != job.Queued }); err != nil {
+		return units.Forever
+	}
+	if t.State != job.Running && t.State != job.Finished && t.State != job.Killed {
+		return units.Forever // should not happen: the queue always drains
+	}
+	return t.Start
+}

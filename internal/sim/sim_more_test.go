@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amjs/internal/core"
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/sched/schedtest"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// A completion and an arrival at the same instant: the completion must
+// be processed first so the freed nodes are visible to the arrival's
+// scheduling pass (the arrival starts immediately).
+func TestSimultaneousEndAndArrival(t *testing.T) {
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 10, 100, 100),  // ends at exactly t=100
+		schedtest.J(2, 100, 10, 100, 50), // arrives at t=100
+	}
+	res := run(t, Config{Machine: machine.NewFlat(10), Scheduler: sched.NewFCFS()}, jobs)
+	byID := job.ByID(res.Jobs)
+	if byID[2].Start != 100 {
+		t.Errorf("arrival at completion instant started at %v, want 100", byID[2].Start)
+	}
+	if byID[2].Wait() != 0 {
+		t.Errorf("wait = %v, want 0", byID[2].Wait())
+	}
+}
+
+// Many simultaneous arrivals must all be queued before the single
+// scheduling pass, so the scheduler sees the whole batch.
+func TestBatchArrivalsSeenTogether(t *testing.T) {
+	// SJF across a simultaneous batch: the shortest of the batch runs
+	// first even though it has the highest ID.
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 10, 1000, 900),
+		schedtest.J(2, 0, 10, 500, 400),
+		schedtest.J(3, 0, 10, 100, 50),
+	}
+	res := run(t, Config{Machine: machine.NewFlat(10), Scheduler: sched.NewSJF()}, jobs)
+	byID := job.ByID(res.Jobs)
+	if byID[3].Start != 0 {
+		t.Errorf("shortest batch job started at %v, want 0", byID[3].Start)
+	}
+	if !(byID[2].Start < byID[1].Start) {
+		t.Errorf("SJF order violated: %v vs %v", byID[2].Start, byID[1].Start)
+	}
+}
+
+// The multi-metric scheduler must run complete traces through the
+// engine, and its two-term configuration must match NewMetricAware.
+func TestMultiMetricEndToEnd(t *testing.T) {
+	cfg := workload.Mini(21)
+	cfg.MaxJobs = 80
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewPartition(8, 64)
+	two, err := Run(Config{Machine: m, Scheduler: core.NewMetricAware(0.5, 2)}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(Config{
+		Machine:   m,
+		Scheduler: core.NewMultiMetric(2, core.WaitScorer(0.5), core.ShortJobScorer(0.5)),
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := job.ByID(two.Jobs), job.ByID(multi.Jobs)
+	for id := range a {
+		if a[id].Start != b[id].Start {
+			t.Fatalf("job %d: two-term start %v != multi-metric start %v", id, a[id].Start, b[id].Start)
+		}
+	}
+	// A three-term system-cost mix must also complete.
+	mix, err := Run(Config{
+		Machine: m,
+		Scheduler: core.NewMultiMetric(2,
+			core.WaitScorer(0.4), core.ShortJobScorer(0.4), core.LowCostScorer(0.2)),
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix.Jobs) != len(jobs) {
+		t.Errorf("multi-metric mix completed %d of %d", len(mix.Jobs), len(jobs))
+	}
+}
+
+// The fairness oracle freezes adaptive tuning: the nested run must use
+// the tuner's current parameters without checkpoint-driven changes, and
+// must not perturb the outer tuner's state.
+func TestFairnessOracleFreezesAdaptiveState(t *testing.T) {
+	var jobs []*job.Job
+	jobs = append(jobs, schedtest.J(1, 0, 10, 4*units.Hour, 4*units.Hour))
+	for i := 2; i <= 20; i++ {
+		jobs = append(jobs, schedtest.J(i, units.Time(i*60), 5, units.Hour, 30*units.Minute))
+	}
+	res := run(t, Config{
+		Machine:   machine.NewFlat(10),
+		Scheduler: core.NewTuner(core.PaperBFScheme(60)),
+		Fairness:  true,
+	}, jobs)
+	if len(res.FairStarts) != len(jobs) {
+		t.Fatalf("fair starts recorded for %d of %d jobs", len(res.FairStarts), len(jobs))
+	}
+	// The run must complete deterministically twice (oracle clones must
+	// not leak state between runs).
+	res2 := run(t, Config{
+		Machine:   machine.NewFlat(10),
+		Scheduler: core.NewTuner(core.PaperBFScheme(60)),
+		Fairness:  true,
+	}, jobs)
+	if res.Metrics.UnfairCount() != res2.Metrics.UnfairCount() {
+		t.Errorf("unfair counts differ across runs: %d vs %d",
+			res.Metrics.UnfairCount(), res2.Metrics.UnfairCount())
+	}
+}
+
+// FCFS without backfilling can never treat a job unfairly under the
+// no-later-arrival definition: later jobs cannot overtake.
+func TestStrictFCFSIsFair(t *testing.T) {
+	cfg := workload.Mini(17)
+	cfg.MaxJobs = 60
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{
+		Machine:   machine.NewFlat(512),
+		Scheduler: sched.NewFCFS(),
+		Fairness:  true,
+	}, jobs)
+	if got := res.Metrics.UnfairCount(); got != 0 {
+		t.Errorf("strict FCFS produced %d unfair jobs", got)
+	}
+}
+
+// Checkpoints must stop once the system drains, so simulations
+// terminate even with adaptive schedulers attached.
+func TestCheckpointsTerminate(t *testing.T) {
+	jobs := []*job.Job{schedtest.J(1, 0, 4, 60, 30)}
+	res := run(t, Config{
+		Machine:       machine.NewFlat(10),
+		Scheduler:     core.NewTuner(core.PaperWScheme()),
+		CheckInterval: units.Minute,
+	}, jobs)
+	// One 30-second job: only the pre-scheduled checkpoint (plus at most
+	// one trailing) may fire.
+	if res.Metrics.QD.Len() > 3 {
+		t.Errorf("checkpoints kept firing: %d samples", res.Metrics.QD.Len())
+	}
+}
+
+// Slowdown metrics must be collected alongside waits.
+func TestSlowdownSummary(t *testing.T) {
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 10, 100, 100),
+		schedtest.J(2, 0, 10, 100, 100), // waits 100, runtime 100 → slowdown 2
+	}
+	res := run(t, Config{Machine: machine.NewFlat(10), Scheduler: sched.NewFCFS()}, jobs)
+	sd := res.Metrics.SlowdownSummary()
+	if sd.N != 2 || sd.Max != 2 || sd.Min != 1 {
+		t.Errorf("slowdown summary wrong: %+v", sd)
+	}
+}
+
+// Rejections, kills and checkpointless runs together.
+func TestMixedDegenerateInputs(t *testing.T) {
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 9999, 60, 30), // rejected
+		schedtest.J(2, 0, 4, 60, 60),    // exact walltime
+	}
+	res := run(t, Config{
+		Machine:       machine.NewFlat(8),
+		Scheduler:     sched.NewEASY(),
+		CheckInterval: units.Hour,
+	}, jobs)
+	if len(res.Rejected) != 1 || len(res.Jobs) != 1 {
+		t.Fatalf("rejected=%d accepted=%d", len(res.Rejected), len(res.Jobs))
+	}
+	if res.Jobs[0].State != job.Finished {
+		t.Errorf("state = %v", res.Jobs[0].State)
+	}
+}
+
+// The event trace must record every lifecycle event exactly once per
+// job and never fire inside nested fairness simulations.
+func TestEventTrace(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []*job.Job{
+		schedtest.J(1, 0, 10, 100, 100),
+		schedtest.J(2, 5, 10, 100, 50),
+	}
+	_ = run(t, Config{
+		Machine:   machine.NewFlat(10),
+		Scheduler: sched.NewEASY(),
+		Fairness:  true, // nested sims must not write to the trace
+		Trace:     &buf,
+	}, jobs)
+	out := buf.String()
+	for _, ev := range []string{"arrive", "start", "end"} {
+		if got := strings.Count(out, ev+" job="); got != 2 {
+			t.Errorf("trace has %d %q events, want 2:\n%s", got, ev, out)
+		}
+	}
+}

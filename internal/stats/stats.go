@@ -1,0 +1,249 @@
+// Package stats provides the descriptive statistics and time-weighted
+// series used by the metric collectors.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"amjs/internal/units"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary condenses a sample into its headline statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P50:    Percentile(xs, 50),
+		P90:    Percentile(xs, 90),
+		P99:    Percentile(xs, 99),
+		Max:    Max(xs),
+	}
+}
+
+// StepSeries is a piecewise-constant function of simulated time: the
+// value set at breakpoint i holds from times[i] until times[i+1]. It is
+// the canonical representation for quantities such as "busy nodes" that
+// change only at discrete events, and supports exact integration, which
+// the utilization and loss-of-capacity metrics require.
+//
+// Breakpoints must be appended in non-decreasing time order; setting a
+// value at the time of the last breakpoint overwrites it.
+type StepSeries struct {
+	times []units.Time
+	vals  []float64
+	cum   []float64 // cum[i] = integral of the series over [times[0], times[i]]
+}
+
+// Set appends (or overwrites, when t equals the last breakpoint) the
+// value holding from t onward. It panics if t precedes the last
+// breakpoint.
+func (s *StepSeries) Set(t units.Time, v float64) {
+	n := len(s.times)
+	if n > 0 {
+		last := s.times[n-1]
+		if t < last {
+			panic("stats: StepSeries.Set out of order")
+		}
+		if t == last {
+			s.vals[n-1] = v
+			return
+		}
+		// Value vals[n-1] held over [last, t).
+		s.cum = append(s.cum, s.cum[n-1]+s.vals[n-1]*float64(t-last))
+	} else {
+		s.cum = append(s.cum, 0)
+	}
+	s.times = append(s.times, t)
+	s.vals = append(s.vals, v)
+}
+
+// Len returns the number of breakpoints.
+func (s *StepSeries) Len() int { return len(s.times) }
+
+// Start returns the first breakpoint time; ok is false when empty.
+func (s *StepSeries) Start() (t units.Time, ok bool) {
+	if len(s.times) == 0 {
+		return 0, false
+	}
+	return s.times[0], true
+}
+
+// At returns the value of the series at time t. Before the first
+// breakpoint the series is 0; after the last it holds the last value.
+func (s *StepSeries) At(t units.Time) float64 {
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] > t }) - 1
+	if i < 0 {
+		return 0
+	}
+	return s.vals[i]
+}
+
+// Integrate returns the exact integral of the series over [a, b]. The
+// series is taken as 0 before its first breakpoint and as its last value
+// after the last breakpoint. Integrate(a, b) with b <= a is 0.
+func (s *StepSeries) Integrate(a, b units.Time) float64 {
+	if b <= a || len(s.times) == 0 {
+		return 0
+	}
+	return s.integrateTo(b) - s.integrateTo(a)
+}
+
+// integrateTo returns the integral over [times[0], t].
+func (s *StepSeries) integrateTo(t units.Time) float64 {
+	if t <= s.times[0] {
+		return 0
+	}
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] > t }) - 1
+	return s.cum[i] + s.vals[i]*float64(t-s.times[i])
+}
+
+// WindowAverage returns the time-weighted average of the series over the
+// trailing window [end-width, end], clipped at the first breakpoint when
+// the window extends before it (matching how short-horizon rolling
+// utilization is reported early in a trace). It returns 0 when the
+// effective window is empty.
+func (s *StepSeries) WindowAverage(end units.Time, width units.Duration) float64 {
+	if len(s.times) == 0 || width <= 0 {
+		return 0
+	}
+	start := end.Add(-width)
+	if first := s.times[0]; start < first {
+		start = first
+	}
+	if end <= start {
+		return 0
+	}
+	return s.Integrate(start, end) / float64(end-start)
+}
+
+// Series is a sequence of (time, value) samples — the representation for
+// checkpointed monitor readings such as queue depth and the 1H/10H/24H
+// utilization lines.
+type Series struct {
+	Name   string
+	Times  []units.Time
+	Values []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(t units.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Truncate returns a copy of s restricted to samples with time <= cutoff
+// (used to plot "first 200 hours" views as in the paper's figures).
+func (s *Series) Truncate(cutoff units.Time) *Series {
+	out := &Series{Name: s.Name}
+	for i, t := range s.Times {
+		if t > cutoff {
+			break
+		}
+		out.Append(t, s.Values[i])
+	}
+	return out
+}
+
+// MaxValue returns the largest sample value, or 0 when empty.
+func (s *Series) MaxValue() float64 { return Max(s.Values) }
+
+// MeanValue returns the arithmetic mean of the sample values.
+func (s *Series) MeanValue() float64 { return Mean(s.Values) }

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"amjs/internal/units"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	if !almost(Mean(nil), 0) {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+	if !almost(StdDev([]float64{5}), 0) {
+		t.Error("StdDev single != 0")
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if !almost(Percentile(xs, 0), 15) || !almost(Percentile(xs, 100), 50) {
+		t.Error("extreme percentiles wrong")
+	}
+	if !almost(Percentile(xs, 50), 35) {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 20) {
+		t.Errorf("P25 = %v", Percentile(xs, 25))
+	}
+	// Does not modify input.
+	xs2 := []float64{3, 1, 2}
+	Percentile(xs2, 50)
+	if xs2[0] != 3 {
+		t.Error("Percentile sorted its input")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Min, 1) || !almost(s.Max, 3) || !almost(s.P50, 2) {
+		t.Errorf("Summarize wrong: %+v", s)
+	}
+}
+
+func TestStepSeriesBasics(t *testing.T) {
+	var s StepSeries
+	if s.At(10) != 0 || s.Integrate(0, 100) != 0 {
+		t.Error("empty series should be 0")
+	}
+	s.Set(10, 2) // 2 over [10,20)
+	s.Set(20, 5) // 5 over [20,30)
+	s.Set(30, 0)
+	if got := s.At(5); got != 0 {
+		t.Errorf("At(5) = %v", got)
+	}
+	if got := s.At(10); got != 2 {
+		t.Errorf("At(10) = %v", got)
+	}
+	if got := s.At(25); got != 5 {
+		t.Errorf("At(25) = %v", got)
+	}
+	if got := s.At(99); got != 0 {
+		t.Errorf("At(99) = %v", got)
+	}
+	if got := s.Integrate(10, 30); !almost(got, 2*10+5*10) {
+		t.Errorf("Integrate(10,30) = %v, want 70", got)
+	}
+	if got := s.Integrate(15, 25); !almost(got, 2*5+5*5) {
+		t.Errorf("Integrate(15,25) = %v, want 35", got)
+	}
+	if got := s.Integrate(0, 15); !almost(got, 10) {
+		t.Errorf("Integrate(0,15) = %v, want 10", got)
+	}
+	if got := s.Integrate(25, 25); got != 0 {
+		t.Errorf("degenerate Integrate = %v", got)
+	}
+	if got := s.Integrate(30, 50); got != 0 {
+		t.Errorf("tail Integrate = %v, want 0 (last value 0)", got)
+	}
+}
+
+func TestStepSeriesOverwriteAndOrder(t *testing.T) {
+	var s StepSeries
+	s.Set(10, 1)
+	s.Set(10, 3) // overwrite
+	if got := s.At(10); got != 3 {
+		t.Errorf("overwrite failed: %v", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Set did not panic")
+		}
+	}()
+	s.Set(5, 9)
+}
+
+func TestStepSeriesTailHolds(t *testing.T) {
+	var s StepSeries
+	s.Set(0, 4)
+	if got := s.Integrate(0, 10); !almost(got, 40) {
+		t.Errorf("tail integral = %v, want 40", got)
+	}
+}
+
+func TestWindowAverage(t *testing.T) {
+	var s StepSeries
+	s.Set(0, 10)
+	s.Set(100, 20)
+	// Over [50,150]: 10*50 + 20*50 = 1500 → avg 15.
+	if got := s.WindowAverage(150, 100); !almost(got, 15) {
+		t.Errorf("WindowAverage = %v, want 15", got)
+	}
+	// Window clipped at series start: [0,50] avg = 10.
+	if got := s.WindowAverage(50, 1000); !almost(got, 10) {
+		t.Errorf("clipped WindowAverage = %v, want 10", got)
+	}
+	if got := s.WindowAverage(0, 100); got != 0 {
+		t.Errorf("empty-window average = %v", got)
+	}
+	var empty StepSeries
+	if empty.WindowAverage(10, 5) != 0 {
+		t.Error("empty series window average != 0")
+	}
+}
+
+func TestStepSeriesIntegralAdditive(t *testing.T) {
+	// Property: Integrate(a,c) == Integrate(a,b) + Integrate(b,c) for a<=b<=c.
+	f := func(rawTimes []uint16, vals []float64, a, b, c uint16) bool {
+		var s StepSeries
+		ts := append([]uint16(nil), rawTimes...)
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for i, tt := range ts {
+			v := 1.0
+			if i < len(vals) && !math.IsNaN(vals[i]) && !math.IsInf(vals[i], 0) {
+				v = math.Mod(vals[i], 1e6) // bound magnitude to keep sums exact
+			}
+			s.Set(units.Time(tt), v)
+		}
+		xs := []units.Time{units.Time(a), units.Time(b), units.Time(c)}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		whole := s.Integrate(xs[0], xs[2])
+		parts := s.Integrate(xs[0], xs[1]) + s.Integrate(xs[1], xs[2])
+		return math.Abs(whole-parts) < 1e-6*(1+math.Abs(whole))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "qd"
+	s.Append(0, 1)
+	s.Append(1800, 5)
+	s.Append(3600, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.MaxValue(); got != 5 {
+		t.Errorf("MaxValue = %v", got)
+	}
+	if got := s.MeanValue(); !almost(got, 3) {
+		t.Errorf("MeanValue = %v", got)
+	}
+	tr := s.Truncate(1800)
+	if tr.Len() != 2 || tr.Name != "qd" {
+		t.Errorf("Truncate wrong: %+v", tr)
+	}
+}

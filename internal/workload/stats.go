@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amjs/internal/job"
+	"amjs/internal/stats"
+	"amjs/internal/units"
+)
+
+// TraceStats summarizes a workload for inspection and load calibration.
+type TraceStats struct {
+	Jobs        int
+	Users       int
+	Span        units.Duration // first submit to last completion bound (submit+runtime)
+	NodeSeconds int64          // total requested node-seconds
+	OfferedLoad float64        // NodeSeconds / (machineNodes * Span)
+	Runtime     stats.Summary  // seconds
+	Walltime    stats.Summary  // seconds
+	OverEst     stats.Summary  // walltime/runtime ratio
+	Nodes       stats.Summary
+	SizeCounts  map[int]int // exact request histogram
+}
+
+// Analyze computes TraceStats against a machine of the given size.
+func Analyze(jobs []*job.Job, machineNodes int) TraceStats {
+	ts := TraceStats{Jobs: len(jobs), SizeCounts: make(map[int]int)}
+	if len(jobs) == 0 {
+		return ts
+	}
+	users := make(map[string]bool)
+	var runtimes, walls, over, nodes []float64
+	var lastEnd units.Time
+	firstSubmit := jobs[0].Submit
+	for _, j := range jobs {
+		users[j.User] = true
+		runtimes = append(runtimes, float64(j.Runtime))
+		walls = append(walls, float64(j.Walltime))
+		over = append(over, float64(j.Walltime)/float64(j.Runtime))
+		nodes = append(nodes, float64(j.Nodes))
+		ts.NodeSeconds += j.NodeSeconds()
+		ts.SizeCounts[j.Nodes]++
+		if j.Submit < firstSubmit {
+			firstSubmit = j.Submit
+		}
+		if end := j.Submit.Add(j.Runtime); end > lastEnd {
+			lastEnd = end
+		}
+	}
+	ts.Users = len(users)
+	ts.Span = lastEnd.Sub(firstSubmit)
+	ts.Runtime = stats.Summarize(runtimes)
+	ts.Walltime = stats.Summarize(walls)
+	ts.OverEst = stats.Summarize(over)
+	ts.Nodes = stats.Summarize(nodes)
+	if machineNodes > 0 && ts.Span > 0 {
+		ts.OfferedLoad = float64(ts.NodeSeconds) / (float64(machineNodes) * float64(ts.Span))
+	}
+	return ts
+}
+
+// String renders a multi-line human-readable report.
+func (ts TraceStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs:         %d\n", ts.Jobs)
+	fmt.Fprintf(&b, "users:        %d\n", ts.Users)
+	fmt.Fprintf(&b, "span:         %.1f h\n", ts.Span.HoursF())
+	fmt.Fprintf(&b, "offered load: %.1f%%\n", ts.OfferedLoad*100)
+	fmt.Fprintf(&b, "runtime:      mean %.0fs  p50 %.0fs  p99 %.0fs\n", ts.Runtime.Mean, ts.Runtime.P50, ts.Runtime.P99)
+	fmt.Fprintf(&b, "walltime:     mean %.0fs  p50 %.0fs\n", ts.Walltime.Mean, ts.Walltime.P50)
+	fmt.Fprintf(&b, "overestimate: mean %.1fx  p50 %.1fx\n", ts.OverEst.Mean, ts.OverEst.P50)
+	fmt.Fprintf(&b, "nodes:        mean %.0f  p50 %.0f  max %.0f\n", ts.Nodes.Mean, ts.Nodes.P50, ts.Nodes.Max)
+	sizes := make([]int, 0, len(ts.SizeCounts))
+	for s := range ts.SizeCounts {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	fmt.Fprintf(&b, "sizes:        ")
+	for i, s := range sizes {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%d×%d", s, ts.SizeCounts[s])
+		if i >= 11 && len(sizes) > 13 {
+			fmt.Fprintf(&b, "  … (%d more)", len(sizes)-i-1)
+			break
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

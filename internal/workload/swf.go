@@ -1,0 +1,211 @@
+// Package workload produces and consumes job traces.
+//
+// Two sources are supported:
+//
+//   - The Standard Workload Format (SWF) used by the Parallel Workloads
+//     Archive, so real traces can be replayed directly.
+//
+//   - A synthetic generator calibrated to the characteristics of the
+//     Intrepid Blue Gene/P workload the paper evaluates on (bursty
+//     arrivals with diurnal and weekly cycles, partition-quantized job
+//     sizes biased to powers of two, heavy-tailed runtimes, and
+//     mixture-model walltime overestimates). The generator stands in
+//     for the proprietary Argonne trace; see DESIGN.md §3.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// SWF field indices (0-based) of the 18-field Standard Workload Format.
+const (
+	swfJobID = iota
+	swfSubmit
+	swfWait
+	swfRunTime
+	swfAllocProcs
+	swfAvgCPU
+	swfUsedMem
+	swfReqProcs
+	swfReqTime
+	swfReqMem
+	swfStatus
+	swfUserID
+	swfGroupID
+	swfExecutable
+	swfQueue
+	swfPartition
+	swfPrecedingJob
+	swfThinkTime
+	swfFieldCount
+)
+
+// SWFOptions control how an SWF trace is interpreted.
+type SWFOptions struct {
+	// ProcsPerNode divides the processor counts in the trace to obtain
+	// node counts (Intrepid reports 4 cores per node). 0 means 1.
+	ProcsPerNode int
+
+	// MaxNodes drops jobs requesting more nodes than the target machine
+	// provides. 0 means no limit.
+	MaxNodes int
+
+	// KeepFailed keeps jobs whose SWF status is not 1 (completed).
+	// Runtimes of failed/cancelled jobs are still honored when positive.
+	KeepFailed bool
+}
+
+// ReadSWF parses an SWF trace. Jobs with unusable fields (non-positive
+// runtime or size) are skipped; the number skipped is returned. Submit
+// times are rebased so the earliest kept job submits at time 0.
+func ReadSWF(r io.Reader, opt SWFOptions) (jobs []*job.Job, skipped int, err error) {
+	ppn := opt.ProcsPerNode
+	if ppn <= 0 {
+		ppn = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < swfFieldCount {
+			return nil, skipped, fmt.Errorf("workload: line %d: %d fields, want %d", lineNo, len(fields), swfFieldCount)
+		}
+		get := func(i int) (int64, error) {
+			return strconv.ParseInt(fields[i], 10, 64)
+		}
+		id, err := get(swfJobID)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("workload: line %d: bad job id: %v", lineNo, err)
+		}
+		submit, err := get(swfSubmit)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("workload: line %d: bad submit time: %v", lineNo, err)
+		}
+		runSec, _ := get(swfRunTime)
+		reqProcs, _ := get(swfReqProcs)
+		allocProcs, _ := get(swfAllocProcs)
+		reqTime, _ := get(swfReqTime)
+		status, _ := get(swfStatus)
+		userID, _ := get(swfUserID)
+
+		procs := reqProcs
+		if procs <= 0 {
+			procs = allocProcs
+		}
+		if !opt.KeepFailed && status != 1 && status != 0 {
+			skipped++
+			continue
+		}
+		if runSec <= 0 || procs <= 0 || submit < 0 {
+			skipped++
+			continue
+		}
+		nodes := int((procs + int64(ppn) - 1) / int64(ppn))
+		if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
+			skipped++
+			continue
+		}
+		wall := units.Duration(reqTime)
+		if wall < units.Duration(runSec) {
+			wall = units.Duration(runSec) // distrust bad estimates, never truncate runtimes
+		}
+		jobs = append(jobs, &job.Job{
+			ID:       int(id),
+			User:     "u" + strconv.FormatInt(userID, 10),
+			Submit:   units.Time(submit),
+			Nodes:    nodes,
+			Walltime: wall,
+			Runtime:  units.Duration(runSec),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("workload: reading SWF: %w", err)
+	}
+	Rebase(jobs)
+	return jobs, skipped, nil
+}
+
+// WriteSWF renders jobs as an SWF trace. Unknown fields are written as
+// -1 per the format convention.
+func WriteSWF(w io.Writer, jobs []*job.Job, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		for _, line := range strings.Split(strings.TrimRight(header, "\n"), "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, j := range jobs {
+		wait := int64(-1)
+		status := int64(1)
+		if j.State == job.Running || j.State == job.Finished || j.State == job.Killed {
+			wait = int64(j.Wait())
+		}
+		user := strings.TrimPrefix(j.User, "u")
+		if _, err := strconv.Atoi(user); err != nil {
+			user = "-1"
+		}
+		_, err := fmt.Fprintf(bw, "%d %d %d %d %d -1 -1 %d %d -1 %d %s -1 -1 -1 -1 -1 -1\n",
+			j.ID, int64(j.Submit), wait, int64(j.Runtime), j.Nodes, j.Nodes,
+			int64(j.Walltime), status, user)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Rebase shifts submit times so the earliest job submits at 0 and sorts
+// jobs by (submit, ID).
+func Rebase(jobs []*job.Job) {
+	if len(jobs) == 0 {
+		return
+	}
+	min := jobs[0].Submit
+	for _, j := range jobs {
+		if j.Submit < min {
+			min = j.Submit
+		}
+	}
+	for _, j := range jobs {
+		j.Submit -= min
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Submit != jobs[b].Submit {
+			return jobs[a].Submit < jobs[b].Submit
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// SampleSWF is a small hand-written SWF fragment used by tests and the
+// trace-replay example. It describes ten jobs on a 512-node machine.
+const SampleSWF = `; SWF sample trace (synthetic, 512-node machine)
+; MaxNodes: 512
+; Note: fields are the 18 standard SWF columns
+1   0     -1 1800  64  -1 -1  64  3600  -1 1 1 -1 -1 -1 -1 -1 -1
+2   60    -1 3600  128 -1 -1 128 7200  -1 1 2 -1 -1 -1 -1 -1 -1
+3   120   -1 600   512 -1 -1 512 1800  -1 1 1 -1 -1 -1 -1 -1 -1
+4   600   -1 7200  64  -1 -1 64  7200  -1 1 3 -1 -1 -1 -1 -1 -1
+5   900   -1 1200  256 -1 -1 256 3600  -1 1 2 -1 -1 -1 -1 -1 -1
+6   1800  -1 2400  64  -1 -1 64  3600  -1 1 4 -1 -1 -1 -1 -1 -1
+7   2400  -1 900   128 -1 -1 128 1800  -1 1 1 -1 -1 -1 -1 -1 -1
+8   3000  -1 5400  512 -1 -1 512 10800 -1 1 5 -1 -1 -1 -1 -1 -1
+9   3600  -1 300   64  -1 -1 64  900   -1 1 2 -1 -1 -1 -1 -1 -1
+10  4200  -1 1800  256 -1 -1 256 3600  -1 1 3 -1 -1 -1 -1 -1 -1
+`

@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+func TestReadSampleSWF(t *testing.T) {
+	jobs, skipped, err := ReadSWF(strings.NewReader(SampleSWF), SWFOptions{})
+	if err != nil {
+		t.Fatalf("ReadSWF: %v", err)
+	}
+	if skipped != 0 || len(jobs) != 10 {
+		t.Fatalf("got %d jobs, %d skipped", len(jobs), skipped)
+	}
+	j := jobs[0]
+	if j.ID != 1 || j.Submit != 0 || j.Nodes != 64 || j.Runtime != 1800 || j.Walltime != 3600 || j.User != "u1" {
+		t.Errorf("first job wrong: %+v", j)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Errorf("invalid job from SWF: %v", err)
+		}
+	}
+}
+
+func TestReadSWFOptions(t *testing.T) {
+	// ProcsPerNode conversion: 64 procs / 4 = 16 nodes.
+	jobs, _, err := ReadSWF(strings.NewReader(SampleSWF), SWFOptions{ProcsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Nodes != 16 {
+		t.Errorf("ppn conversion: nodes = %d, want 16", jobs[0].Nodes)
+	}
+	// MaxNodes filtering: drop jobs over 128 nodes.
+	jobs, skipped, err := ReadSWF(strings.NewReader(SampleSWF), SWFOptions{MaxNodes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 4 || len(jobs) != 6 {
+		t.Errorf("MaxNodes filter: %d jobs, %d skipped", len(jobs), skipped)
+	}
+}
+
+func TestReadSWFBadInput(t *testing.T) {
+	if _, _, err := ReadSWF(strings.NewReader("1 2 3\n"), SWFOptions{}); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, _, err := ReadSWF(strings.NewReader("x 0 -1 10 4 -1 -1 4 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"), SWFOptions{}); err == nil {
+		t.Error("bad job id accepted")
+	}
+	// Unusable jobs are skipped, not fatal.
+	jobs, skipped, err := ReadSWF(strings.NewReader(
+		"1 0 -1 -1 4 -1 -1 4 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"+
+			"2 5 -1 10 4 -1 -1 4 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"), SWFOptions{})
+	if err != nil || skipped != 1 || len(jobs) != 1 {
+		t.Errorf("skip handling wrong: %d jobs %d skipped err=%v", len(jobs), skipped, err)
+	}
+}
+
+func TestSWFStatusFilter(t *testing.T) {
+	trace := "1 0 -1 10 4 -1 -1 4 20 -1 5 1 -1 -1 -1 -1 -1 -1\n" // status 5 = cancelled
+	jobs, skipped, err := ReadSWF(strings.NewReader(trace), SWFOptions{})
+	if err != nil || len(jobs) != 0 || skipped != 1 {
+		t.Errorf("cancelled job kept: %d jobs", len(jobs))
+	}
+	jobs, _, err = ReadSWF(strings.NewReader(trace), SWFOptions{KeepFailed: true})
+	if err != nil || len(jobs) != 1 {
+		t.Errorf("KeepFailed dropped job")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig, _, err := ReadSWF(strings.NewReader(SampleSWF), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig, "round trip\nsecond header line"); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := ReadSWF(&buf, SWFOptions{})
+	if err != nil || skipped != 0 {
+		t.Fatalf("re-read: %v, %d skipped", err, skipped)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("job count changed: %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], back[i]
+		if a.ID != b.ID || a.Submit != b.Submit || a.Nodes != b.Nodes ||
+			a.Runtime != b.Runtime || a.Walltime != b.Walltime || a.User != b.User {
+			t.Errorf("job %d changed: %+v vs %+v", a.ID, a, b)
+		}
+	}
+}
+
+func TestRebase(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 2, Submit: 500},
+		{ID: 1, Submit: 100},
+		{ID: 3, Submit: 100},
+	}
+	Rebase(jobs)
+	if jobs[0].ID != 1 || jobs[0].Submit != 0 {
+		t.Errorf("rebase order wrong: %+v", jobs[0])
+	}
+	if jobs[1].ID != 3 || jobs[2].Submit != 400 {
+		t.Errorf("rebase wrong: %+v %+v", jobs[1], jobs[2])
+	}
+	Rebase(nil) // must not panic
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Mini(7)
+	a, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := Mini(7)
+	b, err := cfgB.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+	cfgC := Mini(8)
+	c, err := cfgC.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if *a[i] != *c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGenerateValidSortedJobs(t *testing.T) {
+	cfg := Mini(3)
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 50 {
+		t.Fatalf("suspiciously few jobs: %d", len(jobs))
+	}
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Errorf("job %d invalid: %v", i, err)
+		}
+		if j.ID != i+1 {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if i > 0 && j.Submit < jobs[i-1].Submit {
+			t.Errorf("jobs not sorted at %d", i)
+		}
+		if j.Nodes > 512 {
+			t.Errorf("job exceeds machine: %d nodes", j.Nodes)
+		}
+	}
+}
+
+func TestGenerateMaxJobsCap(t *testing.T) {
+	cfg := Mini(3)
+	cfg.MaxJobs = 20
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) > 20 {
+		t.Errorf("cap exceeded: %d jobs", len(jobs))
+	}
+}
+
+func TestIntrepidPresetLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-month generation")
+	}
+	cfg := Intrepid(42)
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := Analyze(jobs, cfg.MachineNodes)
+	if ts.Jobs < 1500 || ts.Jobs > 15000 {
+		t.Errorf("job count off: %d", ts.Jobs)
+	}
+	if ts.OfferedLoad < 0.5 || ts.OfferedLoad > 1.1 {
+		t.Errorf("offered load off: %.2f (want queueing but not runaway)", ts.OfferedLoad)
+	}
+	if ts.OverEst.P50 < 1 {
+		t.Errorf("median overestimate below 1: %v", ts.OverEst.P50)
+	}
+	// Heavy preset must offer more load.
+	heavyCfg := IntrepidHeavy(42)
+	heavy, err := heavyCfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := Analyze(heavy, cfg.MachineNodes)
+	if hs.OfferedLoad <= ts.OfferedLoad {
+		t.Errorf("heavy load %.2f not above base %.2f", hs.OfferedLoad, ts.OfferedLoad)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.MachineNodes = 0 },
+		func(c *Config) { c.Sizes = nil },
+		func(c *Config) { c.Sizes = []SizeWeight{{Nodes: 9999, Weight: 1}} },
+		func(c *Config) { c.Sizes = []SizeWeight{{Nodes: 64, Weight: -1}} },
+		func(c *Config) { c.Arrival.MeanInterarrival = 0 },
+		func(c *Config) { c.Arrival.DiurnalAmplitude = 2 },
+		func(c *Config) { c.Arrival.WeekendFactor = 0 },
+		func(c *Config) { c.Runtime.MedianSeconds = 0 },
+		func(c *Config) { c.Runtime.Min = 0 },
+		func(c *Config) { c.Runtime.Max = 1; c.Runtime.Min = 2 },
+		func(c *Config) { c.Walltime.Max = c.Runtime.Max - 1 },
+		func(c *Config) { c.Users = 0 },
+	}
+	for i, mutate := range bad {
+		c := Mini(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	c := Mini(1)
+	if err := c.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestWalltimeNeverBelowRuntime(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Mini(seed)
+		cfg.MaxJobs = 60
+		jobs, err := cfg.Generate()
+		if err != nil {
+			return false
+		}
+		for _, j := range jobs {
+			if j.Walltime < j.Runtime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, User: "a", Submit: 0, Nodes: 100, Runtime: 100, Walltime: 200},
+		{ID: 2, User: "b", Submit: 50, Nodes: 50, Runtime: 150, Walltime: 150},
+	}
+	ts := Analyze(jobs, 200)
+	if ts.Jobs != 2 || ts.Users != 2 {
+		t.Errorf("counts wrong: %+v", ts)
+	}
+	if ts.NodeSeconds != 100*100+50*150 {
+		t.Errorf("node-seconds = %d", ts.NodeSeconds)
+	}
+	if ts.Span != 200 { // last end = 50+150 = 200
+		t.Errorf("span = %v", ts.Span)
+	}
+	wantLoad := float64(17500) / (200.0 * 200.0)
+	if diff := ts.OfferedLoad - wantLoad; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("load = %v, want %v", ts.OfferedLoad, wantLoad)
+	}
+	if s := ts.String(); !strings.Contains(s, "jobs:") || !strings.Contains(s, "offered load") {
+		t.Errorf("report missing fields: %q", s)
+	}
+	empty := Analyze(nil, 100)
+	if empty.Jobs != 0 || empty.OfferedLoad != 0 {
+		t.Error("empty analyze wrong")
+	}
+	_ = units.Time(0)
+}
