@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# A one-iteration pass over the scheduling benchmarks: catches bench
+# bit-rot without the minutes-long measured run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit' -benchtime 1x .
+
+# verify is the pre-merge gate: vet, build, the full suite under the
+# race detector, and a benchmark smoke test.
+verify: vet build race bench-smoke
+
+# bench runs the measured window-search benchmarks and records them as
+# machine-readable JSON (see scripts/bench.sh).
+bench:
+	./scripts/bench.sh
+
+clean:
+	rm -f amjs.test cpu.prof mem.prof

@@ -15,23 +15,43 @@ import (
 	"os"
 	"time"
 
+	"amjs/internal/cli"
 	"amjs/internal/experiments"
 )
 
 func main() {
 	var (
-		scale  = flag.String("scale", "quick", "experiment scale: quick, paper, test")
-		seed   = flag.Int64("seed", 42, "workload generator seed")
-		outdir = flag.String("outdir", "results", "directory for CSV/text artifacts ('' disables)")
-		quiet  = flag.Bool("q", false, "suppress progress logging")
+		scale      = flag.String("scale", "quick", "experiment scale: quick, paper, test")
+		seed       = flag.Int64("seed", 42, "workload generator seed")
+		outdir     = flag.String("outdir", "results", "directory for CSV/text artifacts ('' disables)")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amjs-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "amjs-experiments: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+
 	opt := experiments.Options{
-		Seed:   *seed,
-		Scale:  experiments.Scale(*scale),
-		OutDir: *outdir,
-		Out:    os.Stdout,
+		Seed:    *seed,
+		Scale:   experiments.Scale(*scale),
+		OutDir:  *outdir,
+		Out:     os.Stdout,
+		Workers: *workers,
 	}
 	if !*quiet {
 		start := time.Now()
@@ -60,11 +80,12 @@ func main() {
 		run, ok := runners[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, multiseed)\n", name)
-			os.Exit(2)
+			exit(2)
 		}
 		if err := run(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "amjs-experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	exit(0)
 }

@@ -16,6 +16,7 @@ import (
 
 	"amjs/internal/cli"
 	"amjs/internal/core"
+	"amjs/internal/parallel"
 	"amjs/internal/results"
 	"amjs/internal/sim"
 )
@@ -30,11 +31,23 @@ func main() {
 		wList        = flag.String("w", "1,2,3,4,5", "comma-separated window sizes")
 		fairness     = flag.Bool("fairness", false, "run the fair-start oracle (enables unfair counts)")
 		csvPath      = flag.String("csv", "", "also write results as CSV to this file")
+		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*machineSpec, *workloadSpec, *seed, *maxJobs, *bfList, *wList, *fairness, *csvPath); err != nil {
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "amjs-sweep: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(*machineSpec, *workloadSpec, *seed, *maxJobs, *bfList, *wList, *fairness, *csvPath, *workers)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "amjs-sweep: %v\n", runErr)
 		os.Exit(1)
 	}
 }
@@ -63,7 +76,7 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(machineSpec, workloadSpec string, seed int64, maxJobs int, bfList, wList string, fairness bool, csvPath string) error {
+func run(machineSpec, workloadSpec string, seed int64, maxJobs int, bfList, wList string, fairness bool, csvPath string, workers int) error {
 	bfs, err := parseFloats(bfList)
 	if err != nil {
 		return err
@@ -89,34 +102,49 @@ func run(machineSpec, workloadSpec string, seed int64, maxJobs int, bfList, wLis
 	fmt.Fprintf(os.Stderr, "amjs-sweep: %s, %d jobs, %d configurations\n",
 		wname, len(jobs), len(bfs)*len(ws))
 
-	tab := results.NewTable(fmt.Sprintf("BF x W sweep on %s", wname),
-		"BF", "W", "avg wait (min)", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
+	// Validate the machine spec once before fanning the grid out.
+	if _, err := cli.ParseMachine(machineSpec); err != nil {
+		return err
+	}
+	type config struct {
+		bf float64
+		w  int
+	}
+	var grid []config
 	for _, bf := range bfs {
 		for _, w := range ws {
-			m, err := cli.ParseMachine(machineSpec)
-			if err != nil {
-				return err
-			}
-			res, err := sim.Run(sim.Config{
-				Machine:   m,
-				Scheduler: core.NewMetricAware(bf, w),
-				Fairness:  fairness,
-			}, jobs)
-			if err != nil {
-				return err
-			}
-			met := res.Metrics
-			unfair := "-"
-			if fairness {
-				unfair = strconv.Itoa(met.UnfairCount())
-			}
-			tab.Add(fmt.Sprintf("%.2f", bf), strconv.Itoa(w),
-				fmt.Sprintf("%.1f", met.AvgWaitMinutes()), unfair,
-				fmt.Sprintf("%.2f", met.LoC()*100),
-				fmt.Sprintf("%.1f", met.UtilAvg()*100),
-				fmt.Sprintf("%.1f", met.MaxWaitMinutes()))
-			fmt.Fprintf(os.Stderr, "amjs-sweep: BF=%.2f W=%d done\n", bf, w)
+			grid = append(grid, config{bf, w})
 		}
+	}
+	all, err := parallel.Map(len(grid), workers, func(i int) (*sim.Result, error) {
+		m, err := cli.ParseMachine(machineSpec)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sim.Config{
+			Machine:   m,
+			Scheduler: core.NewMetricAware(grid[i].bf, grid[i].w),
+			Fairness:  fairness,
+		}, jobs)
+	})
+	if err != nil {
+		return err
+	}
+
+	tab := results.NewTable(fmt.Sprintf("BF x W sweep on %s", wname),
+		"BF", "W", "avg wait (min)", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
+	for i, c := range grid {
+		met := all[i].Metrics
+		unfair := "-"
+		if fairness {
+			unfair = strconv.Itoa(met.UnfairCount())
+		}
+		tab.Add(fmt.Sprintf("%.2f", c.bf), strconv.Itoa(c.w),
+			fmt.Sprintf("%.1f", met.AvgWaitMinutes()), unfair,
+			fmt.Sprintf("%.2f", met.LoC()*100),
+			fmt.Sprintf("%.1f", met.UtilAvg()*100),
+			fmt.Sprintf("%.1f", met.MaxWaitMinutes()))
+		fmt.Fprintf(os.Stderr, "amjs-sweep: BF=%.2f W=%d done\n", c.bf, c.w)
 	}
 	tab.Render(os.Stdout)
 	if csvPath != "" {

@@ -28,7 +28,7 @@ func TestParseLists(t *testing.T) {
 func TestSweepRuns(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "sweep.csv")
-	err := run("partition:8x64", "mini", 3, 50, "1,0.5", "1,2", true, csvPath)
+	err := run("partition:8x64", "mini", 3, 50, "1,0.5", "1,2", true, csvPath, 2)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -47,16 +47,16 @@ func TestSweepRuns(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if err := run("flat:8", "mini", 1, 10, "2", "1", false, ""); err == nil {
+	if err := run("flat:8", "mini", 1, 10, "2", "1", false, "", 1); err == nil {
 		t.Error("BF=2 accepted")
 	}
-	if err := run("flat:8", "mini", 1, 10, "1", "0", false, ""); err == nil {
+	if err := run("flat:8", "mini", 1, 10, "1", "0", false, "", 1); err == nil {
 		t.Error("W=0 accepted")
 	}
-	if err := run("flat:8", "bogus", 1, 10, "1", "1", false, ""); err == nil {
+	if err := run("flat:8", "bogus", 1, 10, "1", "1", false, "", 1); err == nil {
 		t.Error("bogus workload accepted")
 	}
-	if err := run("bogus", "mini", 1, 10, "1", "1", false, ""); err == nil {
+	if err := run("bogus", "mini", 1, 10, "1", "1", false, "", 1); err == nil {
 		t.Error("bogus machine accepted")
 	}
 }

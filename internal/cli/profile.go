@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling to cpuPath and arranges a heap
+// profile at memPath, either of which may be empty to disable it. The
+// returned stop function must be called (typically deferred) before the
+// process exits; it flushes both profiles and reports the first error.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cli: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("cli: mem profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // capture final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("cli: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cli: mem profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

@@ -51,6 +51,77 @@ func TestNextPermutation(t *testing.T) {
 	}
 }
 
+// refPermutations generates all permutations of 0..n-1 recursively and
+// returns them sorted lexicographically — an independent reference for
+// the iterative generator.
+func refPermutations(n int) [][]int {
+	var out [][]int
+	var rec func(prefix []int, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i, v := range rest {
+			next := make([]int, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			rec(append(prefix, v), next)
+		}
+	}
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	rec(nil, elems)
+	sort.Slice(out, func(a, b int) bool {
+		for k := range out[a] {
+			if out[a][k] != out[b][k] {
+				return out[a][k] < out[b][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func TestNextPermutationExhaustive(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		var seen [][]int
+		seen = append(seen, append([]int(nil), p...))
+		for nextPermutation(p) {
+			seen = append(seen, append([]int(nil), p...))
+		}
+		if want := refPermutations(n); !reflect.DeepEqual(seen, want) {
+			t.Errorf("n=%d: generated %v, want %v", n, seen, want)
+		}
+	}
+}
+
+func TestNextPermutationEdgeCases(t *testing.T) {
+	// The last (descending) permutation has no successor; the slice must
+	// be left untouched so callers can still read the final ordering.
+	last := []int{3, 2, 1, 0}
+	if nextPermutation(last) {
+		t.Error("advanced past the last permutation")
+	}
+	if !reflect.DeepEqual(last, []int{3, 2, 1, 0}) {
+		t.Errorf("last permutation mutated: %v", last)
+	}
+
+	single := []int{0}
+	if nextPermutation(single) {
+		t.Error("single-element slice reported a successor")
+	}
+	if nextPermutation(nil) {
+		t.Error("empty slice reported a successor")
+	}
+}
+
 func TestNextPermutationCountProperty(t *testing.T) {
 	fact := []int{1, 1, 2, 6, 24, 120}
 	for n := 1; n <= 5; n++ {

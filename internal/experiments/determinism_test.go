@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// runDeterministic runs every experiment driver at the test scale with
+// the given worker count and returns the rendered output, the log
+// stream, and every artifact file keyed by name.
+func runDeterministic(t *testing.T, workers int) (out, logs string, files map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	var outBuf, logBuf bytes.Buffer
+	opt := Options{
+		Seed:    42,
+		Scale:   ScaleTest,
+		OutDir:  dir,
+		Out:     &outBuf,
+		Log:     func(f string, a ...any) { fmt.Fprintf(&logBuf, f+"\n", a...) },
+		Workers: workers,
+	}
+	for _, run := range []struct {
+		name string
+		fn   func(Options) error
+	}{
+		{"fig3", Fig3}, {"fig4", Fig4}, {"fig5", Fig5}, {"fig6", Fig6},
+		{"table2", Table2}, {"extras", Extras}, {"multiseed", MultiSeed},
+	} {
+		if err := run.fn(opt); err != nil {
+			t.Fatalf("workers=%d %s: %v", workers, run.name, err)
+		}
+	}
+	files = make(map[string][]byte)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = b
+	}
+	return outBuf.String(), logBuf.String(), files
+}
+
+// TestParallelRunnerDeterministic is the contract behind
+// Options.Workers: the rendered output, every log line, and every CSV,
+// SVG, and text artifact must be byte-identical whatever the worker
+// count.
+func TestParallelRunnerDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	serialOut, serialLogs, serialFiles := runDeterministic(t, 1)
+	parOut, parLogs, parFiles := runDeterministic(t, 8)
+
+	if serialOut != parOut {
+		t.Error("rendered output differs between serial and parallel runs")
+	}
+	if serialLogs != parLogs {
+		t.Error("log stream differs between serial and parallel runs")
+	}
+	if len(serialFiles) == 0 {
+		t.Fatal("no artifacts produced")
+	}
+	var names []string
+	for name := range serialFiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pb, ok := parFiles[name]
+		if !ok {
+			t.Errorf("artifact %s missing from parallel run", name)
+			continue
+		}
+		if !bytes.Equal(serialFiles[name], pb) {
+			t.Errorf("artifact %s differs between serial and parallel runs", name)
+		}
+	}
+	if len(parFiles) != len(serialFiles) {
+		t.Errorf("artifact count: serial %d, parallel %d", len(serialFiles), len(parFiles))
+	}
+}

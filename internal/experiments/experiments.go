@@ -17,6 +17,7 @@ import (
 
 	"amjs/internal/job"
 	"amjs/internal/machine"
+	"amjs/internal/parallel"
 	"amjs/internal/sched"
 	"amjs/internal/sim"
 	"amjs/internal/stats"
@@ -44,6 +45,12 @@ type Options struct {
 	OutDir string    // directory for CSV/text artifacts; "" = no files
 	Out    io.Writer // ASCII rendering destination; nil = discard
 	Log    func(format string, args ...any)
+
+	// Workers bounds the simulation worker pool (0 = one per CPU).
+	// Independent simulations within each experiment fan out across the
+	// pool; results are collected in configuration order, so every
+	// artifact and log line is byte-identical whatever the value.
+	Workers int
 }
 
 func (o Options) out() io.Writer {
@@ -135,6 +142,16 @@ func runOne(pf platform, s sched.Scheduler, jobs []*job.Job, fairness bool) (*si
 		Scheduler: s,
 		Fairness:  fairness,
 	}, jobs)
+}
+
+// runAll fans the independent simulation closures out across the
+// worker pool and returns their results in input order. sim.Run clones
+// machine, scheduler, and jobs, so closures built from fresh
+// per-configuration values share nothing mutable.
+func (o Options) runAll(fns []func() (*sim.Result, error)) ([]*sim.Result, error) {
+	return parallel.Map(len(fns), o.Workers, func(i int) (*sim.Result, error) {
+		return fns[i]()
+	})
 }
 
 // meanQD returns the run's average checkpoint queue depth — the

@@ -33,9 +33,7 @@ func Extras(opt Options) error {
 	}
 
 	// (a) Window-mechanism ablation at BF=0.5, W=4.
-	abl := results.NewTable("Extras (a): window-mechanism ablation (BF=0.5, W=4)",
-		"objective", "reservation", "avg wait (min)", "max wait (min)", "LoC (%)")
-	for _, c := range []struct {
+	ablCases := []struct {
 		obj, res  string
 		utilFirst bool
 		permOrder bool
@@ -44,28 +42,46 @@ func Extras(opt Options) error {
 		{"makespan", "perm-order", false, true},
 		{"util-first", "priority-order", true, false},
 		{"util-first", "perm-order", true, true},
-	} {
-		s := core.NewMetricAware(0.5, 4)
-		s.UtilizationFirst = c.utilFirst
-		s.PermOrderReservation = c.permOrder
-		res, err := runOne(pf, s, jobs, false)
-		if err != nil {
-			return err
-		}
-		m := res.Metrics
+	}
+	var ablFns []func() (*sim.Result, error)
+	for _, c := range ablCases {
+		c := c
+		ablFns = append(ablFns, func() (*sim.Result, error) {
+			s := core.NewMetricAware(0.5, 4)
+			s.UtilizationFirst = c.utilFirst
+			s.PermOrderReservation = c.permOrder
+			return runOne(pf, s, jobs, false)
+		})
+	}
+	ablRes, err := opt.runAll(ablFns)
+	if err != nil {
+		return err
+	}
+	abl := results.NewTable("Extras (a): window-mechanism ablation (BF=0.5, W=4)",
+		"objective", "reservation", "avg wait (min)", "max wait (min)", "LoC (%)")
+	for i, c := range ablCases {
+		m := ablRes[i].Metrics
 		abl.Addf(c.obj, c.res, m.AvgWaitMinutes(), m.MaxWaitMinutes(), m.LoC()*100)
 		opt.log("extras: ablation %s/%s wait=%.1f", c.obj, c.res, m.AvgWaitMinutes())
 	}
 
 	// (b) Machine-model comparison under the base policy.
+	variants := machineVariants(pf)
+	var mdlFns []func() (*sim.Result, error)
+	for _, mm := range variants {
+		mm := mm
+		mdlFns = append(mdlFns, func() (*sim.Result, error) {
+			return sim.Run(sim.Config{Machine: mm, Scheduler: core.NewMetricAware(1, 1)}, jobs)
+		})
+	}
+	mdlRes, err := opt.runAll(mdlFns)
+	if err != nil {
+		return err
+	}
 	mdl := results.NewTable("Extras (b): machine models under BF=1/W=1 (FCFS+EASY)",
 		"machine", "avg wait (min)", "LoC (%)", "util busy (%)", "util requested (%)")
-	for _, mm := range machineVariants(pf) {
-		res, err := sim.Run(sim.Config{Machine: mm, Scheduler: core.NewMetricAware(1, 1)}, jobs)
-		if err != nil {
-			return err
-		}
-		m := res.Metrics
+	for i, mm := range variants {
+		m := mdlRes[i].Metrics
 		mdl.Addf(mm.Name(), m.AvgWaitMinutes(), m.LoC()*100, m.UtilAvg()*100, m.UsedAvg()*100)
 		opt.log("extras: machine %s wait=%.1f loc=%.2f%%", mm.Name(), m.AvgWaitMinutes(), m.LoC()*100)
 	}
@@ -74,14 +90,14 @@ func Extras(opt Options) error {
 	est := results.NewTable("Extras (c): walltime-estimate adjustment (FCFS+EASY)",
 		"estimates", "mean overestimate", "avg wait (min)", "LoC (%)")
 	adjusted := predict.AdjustTrace(jobs, predict.New(25, 1.5))
-	base, err := runOne(pf, sched.NewEASY(), jobs, false)
+	estRes, err := opt.runAll([]func() (*sim.Result, error){
+		func() (*sim.Result, error) { return runOne(pf, sched.NewEASY(), jobs, false) },
+		func() (*sim.Result, error) { return runOne(pf, sched.NewEASY(), adjusted, false) },
+	})
 	if err != nil {
 		return err
 	}
-	adj, err := runOne(pf, sched.NewEASY(), adjusted, false)
-	if err != nil {
-		return err
-	}
+	base, adj := estRes[0], estRes[1]
 	est.Addf("user-provided", predict.MeanOverestimate(jobs), base.Metrics.AvgWaitMinutes(), base.Metrics.LoC()*100)
 	est.Addf("history-adjusted", predict.MeanOverestimate(adjusted), adj.Metrics.AvgWaitMinutes(), adj.Metrics.LoC()*100)
 	opt.log("extras: estimates %.2fx -> %.2fx, wait %.1f -> %.1f",
@@ -90,17 +106,25 @@ func Extras(opt Options) error {
 
 	// (d) BF-threshold sensitivity around the trace average.
 	avg := meanQD(base)
+	mults := []float64{0.25, 0.5, 1, 2, 4}
+	var sensFns []func() (*sim.Result, error)
+	for _, mult := range mults {
+		th := avg * mult
+		sensFns = append(sensFns, func() (*sim.Result, error) {
+			return runOne(pf, core.NewTuner(core.PaperBFScheme(th)), jobs, false)
+		})
+	}
+	sensRes, err := opt.runAll(sensFns)
+	if err != nil {
+		return err
+	}
 	sens := results.NewTable("Extras (d): adaptive-BF threshold sensitivity",
 		"threshold (min)", "avg wait (min)", "mean QD (min)", "max QD (min)")
-	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
-		th := avg * mult
-		res, err := runOne(pf, core.NewTuner(core.PaperBFScheme(th)), jobs, false)
-		if err != nil {
-			return err
-		}
-		sens.Addf(fmt.Sprintf("%.0f (%.2gx avg)", th, mult),
+	for i, mult := range mults {
+		res := sensRes[i]
+		sens.Addf(fmt.Sprintf("%.0f (%.2gx avg)", avg*mult, mult),
 			res.Metrics.AvgWaitMinutes(), meanQD(res), res.Metrics.QD.MaxValue())
-		opt.log("extras: threshold %.0f wait=%.1f", th, res.Metrics.AvgWaitMinutes())
+		opt.log("extras: threshold %.0f wait=%.1f", avg*mult, res.Metrics.AvgWaitMinutes())
 	}
 
 	out := opt.out()

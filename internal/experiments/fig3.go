@@ -6,6 +6,7 @@ import (
 
 	"amjs/internal/core"
 	"amjs/internal/results"
+	"amjs/internal/sim"
 )
 
 // fig3BFs and fig3Ws are the paper's sweep: BF ∈ {1, 0.75, 0.5, 0.25, 0}
@@ -30,26 +31,39 @@ func Fig3(opt Options) error {
 	opt.log("fig3: %d jobs on %s, %d configurations",
 		len(jobs), pf.machine().Name(), len(fig3BFs)*len(fig3Ws))
 
+	// The full BF x W grid is embarrassingly parallel: every cell is an
+	// independent simulation over the same (read-only) trace.
+	type params struct{ bi, wi int }
+	var cells []params
+	var fns []func() (*sim.Result, error)
+	for bi, bf := range fig3BFs {
+		for wi, w := range fig3Ws {
+			bf, w := bf, w
+			cells = append(cells, params{bi, wi})
+			fns = append(fns, func() (*sim.Result, error) {
+				return runOne(pf, core.NewMetricAware(bf, w), jobs, true)
+			})
+		}
+	}
+	all, err := opt.runAll(fns)
+	if err != nil {
+		return err
+	}
 	type cell struct {
 		wait   float64
 		unfair int
 		loc    float64
 	}
 	grid := make(map[[2]int]cell) // [bfIdx, wIdx]
-	for bi, bf := range fig3BFs {
-		for wi, w := range fig3Ws {
-			res, err := runOne(pf, core.NewMetricAware(bf, w), jobs, true)
-			if err != nil {
-				return err
-			}
-			grid[[2]int{bi, wi}] = cell{
-				wait:   res.Metrics.AvgWaitMinutes(),
-				unfair: res.Metrics.UnfairCount(),
-				loc:    res.Metrics.LoC() * 100,
-			}
-			opt.log("fig3: BF=%.2f W=%d wait=%.1fmin unfair=%d loc=%.2f%%",
-				bf, w, res.Metrics.AvgWaitMinutes(), res.Metrics.UnfairCount(), res.Metrics.LoC()*100)
+	for i, p := range cells {
+		res := all[i]
+		grid[[2]int{p.bi, p.wi}] = cell{
+			wait:   res.Metrics.AvgWaitMinutes(),
+			unfair: res.Metrics.UnfairCount(),
+			loc:    res.Metrics.LoC() * 100,
 		}
+		opt.log("fig3: BF=%.2f W=%d wait=%.1fmin unfair=%d loc=%.2f%%",
+			fig3BFs[p.bi], fig3Ws[p.wi], res.Metrics.AvgWaitMinutes(), res.Metrics.UnfairCount(), res.Metrics.LoC()*100)
 	}
 
 	// Fig 3(a,b): x-axis BF, one column per window size.

@@ -7,6 +7,7 @@ import (
 	"amjs/internal/core"
 	"amjs/internal/metrics"
 	"amjs/internal/results"
+	"amjs/internal/sim"
 	"amjs/internal/stats"
 	"amjs/internal/units"
 )
@@ -45,14 +46,14 @@ func Fig5(opt Options) error {
 		return err
 	}
 
-	static, err := runOne(pf, core.NewMetricAware(1, 1), jobs, false)
+	pair, err := opt.runAll([]func() (*sim.Result, error){
+		func() (*sim.Result, error) { return runOne(pf, core.NewMetricAware(1, 1), jobs, false) },
+		func() (*sim.Result, error) { return runOne(pf, core.NewTuner(core.PaperWScheme()), jobs, false) },
+	})
 	if err != nil {
 		return err
 	}
-	adaptive, err := runOne(pf, core.NewTuner(core.PaperWScheme()), jobs, false)
-	if err != nil {
-		return err
-	}
+	static, adaptive := pair[0], pair[1]
 	opt.log("fig5: static util=%.1f%% loc=%.2f%%; adaptive util=%.1f%% loc=%.2f%%",
 		static.Metrics.UtilAvg()*100, static.Metrics.LoC()*100,
 		adaptive.Metrics.UtilAvg()*100, adaptive.Metrics.LoC()*100)

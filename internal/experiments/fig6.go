@@ -31,18 +31,19 @@ func Fig6(opt Options) error {
 	threshold := meanQD(base)
 	opt.log("fig6: adaptive threshold = %.0f min", threshold)
 
-	half, err := runOne(pf, core.NewMetricAware(0.5, 1), jobs, false)
+	rest, err := opt.runAll([]func() (*sim.Result, error){
+		func() (*sim.Result, error) { return runOne(pf, core.NewMetricAware(0.5, 1), jobs, false) },
+		func() (*sim.Result, error) {
+			return runOne(pf, core.NewTuner(core.PaperBFScheme(threshold)), jobs, false)
+		},
+		func() (*sim.Result, error) {
+			return runOne(pf, core.NewTuner(core.PaperBFScheme(threshold), core.PaperWScheme()), jobs, false)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	bfOnly, err := runOne(pf, core.NewTuner(core.PaperBFScheme(threshold)), jobs, false)
-	if err != nil {
-		return err
-	}
-	twoD, err := runOne(pf, core.NewTuner(core.PaperBFScheme(threshold), core.PaperWScheme()), jobs, false)
-	if err != nil {
-		return err
-	}
+	half, bfOnly, twoD := rest[0], rest[1], rest[2]
 
 	cut := pf.plotCutoff()
 	entries := []struct {

@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"amjs/internal/core"
+	"amjs/internal/job"
 	"amjs/internal/results"
+	"amjs/internal/sim"
 	"amjs/internal/stats"
 )
 
@@ -28,6 +30,15 @@ func MultiSeed(opt Options) error {
 	byConfig := make(map[string]*agg)
 	var order []string
 
+	// Each seed's base run yields the threshold its adaptive configs
+	// depend on, so the bases go first (parallel across seeds); the full
+	// seed x config grid then fans out in one batch.
+	type seedRun struct {
+		seed int64
+		pf   platform
+		jobs []*job.Job
+	}
+	var runs []seedRun
 	for _, seed := range multiSeeds {
 		seedOpt := opt
 		seedOpt.Seed = seed
@@ -39,30 +50,54 @@ func MultiSeed(opt Options) error {
 		if err != nil {
 			return err
 		}
-		base, err := runOne(pf, core.NewMetricAware(1, 1), jobs, false)
-		if err != nil {
-			return err
-		}
-		threshold := meanQD(base)
-		opt.log("multiseed: seed %d, %d jobs, threshold %.0f min", seed, len(jobs), threshold)
+		runs = append(runs, seedRun{seed, pf, jobs})
+	}
+	var baseFns []func() (*sim.Result, error)
+	for _, r := range runs {
+		r := r
+		baseFns = append(baseFns, func() (*sim.Result, error) {
+			return runOne(r.pf, core.NewMetricAware(1, 1), r.jobs, false)
+		})
+	}
+	bases, err := opt.runAll(baseFns)
+	if err != nil {
+		return err
+	}
+
+	type gridKey struct {
+		seed int64
+		name string
+	}
+	var keys []gridKey
+	var gridFns []func() (*sim.Result, error)
+	for i, r := range runs {
+		threshold := meanQD(bases[i])
+		opt.log("multiseed: seed %d, %d jobs, threshold %.0f min", r.seed, len(r.jobs), threshold)
 		for _, c := range table2Configs(threshold) {
-			res, err := runOne(pf, c.s(), jobs, true)
-			if err != nil {
-				return err
-			}
-			a, ok := byConfig[c.name]
-			if !ok {
-				a = &agg{}
-				byConfig[c.name] = a
-				order = append(order, c.name)
-			}
-			m := res.Metrics
-			a.wait = append(a.wait, m.AvgWaitMinutes())
-			a.unfair = append(a.unfair, float64(m.UnfairCount()))
-			a.loc = append(a.loc, m.LoC()*100)
-			opt.log("multiseed: seed %d %-12s wait=%.1f unfair=%d loc=%.2f%%",
-				seed, c.name, m.AvgWaitMinutes(), m.UnfairCount(), m.LoC()*100)
+			r, c := r, c
+			keys = append(keys, gridKey{r.seed, c.name})
+			gridFns = append(gridFns, func() (*sim.Result, error) {
+				return runOne(r.pf, c.s(), r.jobs, true)
+			})
 		}
+	}
+	grid, err := opt.runAll(gridFns)
+	if err != nil {
+		return err
+	}
+	for i, k := range keys {
+		a, ok := byConfig[k.name]
+		if !ok {
+			a = &agg{}
+			byConfig[k.name] = a
+			order = append(order, k.name)
+		}
+		m := grid[i].Metrics
+		a.wait = append(a.wait, m.AvgWaitMinutes())
+		a.unfair = append(a.unfair, float64(m.UnfairCount()))
+		a.loc = append(a.loc, m.LoC()*100)
+		opt.log("multiseed: seed %d %-12s wait=%.1f unfair=%d loc=%.2f%%",
+			k.seed, k.name, m.AvgWaitMinutes(), m.UnfairCount(), m.LoC()*100)
 	}
 
 	tab := results.NewTable(

@@ -8,6 +8,7 @@ import (
 	"amjs/internal/job"
 	"amjs/internal/results"
 	"amjs/internal/sched"
+	"amjs/internal/sim"
 	"amjs/internal/units"
 	"amjs/internal/workload"
 )
@@ -68,15 +69,22 @@ func table2For(opt Options, pf platform, workloadName, suffix string, jobs []*jo
 	threshold := meanQD(base)
 	opt.log("table2[%s]: %d jobs, threshold %.0f min", workloadName, len(jobs), threshold)
 
+	configs := table2Configs(threshold)
+	var fns []func() (*sim.Result, error)
+	for _, c := range configs {
+		c := c
+		fns = append(fns, func() (*sim.Result, error) { return runOne(pf, c.s(), jobs, true) })
+	}
+	adaptives, err := opt.runAll(fns)
+	if err != nil {
+		return err
+	}
+
 	tab := results.NewTable(
 		fmt.Sprintf("Table II: improvement of adaptive tuning (workload %s)", workloadName),
 		"configuration", "avg wait (min)", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
-	for _, c := range table2Configs(threshold) {
-		res, err := runOne(pf, c.s(), jobs, true)
-		if err != nil {
-			return err
-		}
-		m := res.Metrics
+	for i, c := range configs {
+		m := adaptives[i].Metrics
 		tab.Addf(c.name, m.AvgWaitMinutes(), m.UnfairCount(), m.LoC()*100, m.UtilAvg()*100, m.MaxWaitMinutes())
 		opt.log("table2[%s]: %-12s wait=%.1f unfair=%d loc=%.2f%%",
 			workloadName, c.name, m.AvgWaitMinutes(), m.UnfairCount(), m.LoC()*100)
@@ -89,23 +97,28 @@ func table2For(opt Options, pf platform, workloadName, suffix string, jobs []*jo
 	// conservative-backfilling run multiplied by per-arrival nested
 	// simulations is prohibitively slow, and the paper's Table II does
 	// not cover these schedulers.
+	baselines := []sched.Scheduler{
+		sched.NewEASY(),
+		sched.NewConservative(),
+		sched.NewWFP(),
+		sched.NewDynP(),
+		sched.NewRelaxed(15 * units.Minute),
+		sched.NewFairShare(24 * units.Hour),
+	}
+	var bfns []func() (*sim.Result, error)
+	for _, s := range baselines {
+		s := s
+		bfns = append(bfns, func() (*sim.Result, error) { return runOne(pf, s, jobs, false) })
+	}
+	baseRes, err := opt.runAll(bfns)
+	if err != nil {
+		return err
+	}
 	ext := results.NewTable(
 		fmt.Sprintf("Baseline schedulers (workload %s)", workloadName),
 		"scheduler", "avg wait (min)", "LoC (%)", "util (%)")
-	for _, s := range []func() sched.Scheduler{
-		func() sched.Scheduler { return sched.NewEASY() },
-		func() sched.Scheduler { return sched.NewConservative() },
-		func() sched.Scheduler { return sched.NewWFP() },
-		func() sched.Scheduler { return sched.NewDynP() },
-		func() sched.Scheduler { return sched.NewRelaxed(15 * units.Minute) },
-		func() sched.Scheduler { return sched.NewFairShare(24 * units.Hour) },
-	} {
-		inst := s()
-		res, err := runOne(pf, inst, jobs, false)
-		if err != nil {
-			return err
-		}
-		m := res.Metrics
+	for i, inst := range baselines {
+		m := baseRes[i].Metrics
 		ext.Addf(inst.Name(), m.AvgWaitMinutes(), m.LoC()*100, m.UtilAvg()*100)
 		opt.log("table2[%s]: baseline %-18s wait=%.1f", workloadName, inst.Name(), m.AvgWaitMinutes())
 	}

@@ -136,6 +136,17 @@ type flatPlan struct {
 	now   units.Time
 	times []units.Time
 	avail []int
+	saves []flatSnap // Save/Restore stack; buffers reused across marks
+}
+
+// flatSnap is one saved profile. The whole step function is copied:
+// Commit both rewrites values and inserts breakpoints, so a prefix
+// length alone cannot rewind it. Profiles are small (one step per
+// distinct end time plus commitments) and the buffers are reused, so a
+// snapshot is a short copy with no allocation in steady state.
+type flatSnap struct {
+	times []units.Time
+	avail []int
 }
 
 // Now implements Plan.
@@ -148,6 +159,31 @@ func (p *flatPlan) Clone() Plan {
 		times: append([]units.Time(nil), p.times...),
 		avail: append([]int(nil), p.avail...),
 	}
+}
+
+// Save implements Plan.
+func (p *flatPlan) Save() PlanMark {
+	d := len(p.saves)
+	if cap(p.saves) > d {
+		p.saves = p.saves[:d+1]
+	} else {
+		p.saves = append(p.saves, flatSnap{})
+	}
+	s := &p.saves[d]
+	s.times = append(s.times[:0], p.times...)
+	s.avail = append(s.avail[:0], p.avail...)
+	return PlanMark(d)
+}
+
+// Restore implements Plan.
+func (p *flatPlan) Restore(m PlanMark) {
+	if m < 0 || int(m) >= len(p.saves) {
+		panic("machine: flat plan restore of an invalid mark")
+	}
+	s := &p.saves[m]
+	p.times = append(p.times[:0], s.times...)
+	p.avail = append(p.avail[:0], s.avail...)
+	p.saves = p.saves[:m+1] // the mark stays restorable; later marks die
 }
 
 // EarliestStart implements Plan.

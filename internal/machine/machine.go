@@ -107,10 +107,29 @@ type Plan interface {
 	// size and walltime; committing an infeasible placement panics.
 	Commit(nodes int, start units.Time, walltime units.Duration, hint int)
 
-	// Clone returns an independent copy (used to evaluate alternative
-	// window permutations against the same baseline).
+	// Save checkpoints the plan's commitment state and returns a mark
+	// that Restore rewinds to. Marks nest LIFO with the call stack: a
+	// mark may be restored any number of times (speculate, rewind,
+	// speculate again), but restoring an outer mark invalidates every
+	// mark taken after it. Save/Restore is the allocation-free
+	// alternative to Clone for speculative probing: the window
+	// permutation search and backfill legality checks bracket each
+	// tentative Commit between a Save and a Restore instead of cloning
+	// the whole plan.
+	Save() PlanMark
+
+	// Restore rewinds the plan to the state captured by a Save. The mark
+	// stays valid for further restores; later marks are invalidated.
+	Restore(m PlanMark)
+
+	// Clone returns an independent copy (used when a speculative branch
+	// must outlive the original plan; prefer Save/Restore for transient
+	// probes).
 	Clone() Plan
 }
+
+// PlanMark is an opaque checkpoint token returned by Plan.Save.
+type PlanMark int
 
 // nextPow2 returns the smallest power of two >= n (n >= 1).
 func nextPow2(n int) int {

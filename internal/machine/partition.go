@@ -256,6 +256,30 @@ type partPlan struct {
 	now  units.Time
 	m    *Partition
 	busy [][]ival
+	undo []planUndo // one entry per interval insert, in commit order
+}
+
+// planUndo records a single sorted-insert of an interval into timeline
+// cell at position pos, so Restore can remove it again. Entries are
+// undone strictly in reverse order, which keeps recorded positions
+// valid: every later insert into the same cell is removed first.
+type planUndo struct {
+	cell, pos int
+}
+
+// undoInserts rewinds timelines by removing the logged inserts above
+// mark, newest first. Shared by the partition and torus planners.
+func undoInserts(busy [][]ival, undo []planUndo, mark int) []planUndo {
+	if mark < 0 || mark > len(undo) {
+		panic("machine: plan restore of an invalid mark")
+	}
+	for i := len(undo) - 1; i >= mark; i-- {
+		e := undo[i]
+		ivs := busy[e.cell]
+		copy(ivs[e.pos:], ivs[e.pos+1:])
+		busy[e.cell] = ivs[:len(ivs)-1]
+	}
+	return undo[:mark]
 }
 
 // Now implements Plan.
@@ -268,6 +292,14 @@ func (pl *partPlan) Clone() Plan {
 		c.busy[i] = append([]ival(nil), pl.busy[i]...)
 	}
 	return c
+}
+
+// Save implements Plan: the mark is the undo-log position.
+func (pl *partPlan) Save() PlanMark { return PlanMark(len(pl.undo)) }
+
+// Restore implements Plan.
+func (pl *partPlan) Restore(m PlanMark) {
+	pl.undo = undoInserts(pl.busy, pl.undo, int(m))
 }
 
 // midplaneFree reports whether midplane i is free over [t, t+d).
@@ -349,9 +381,11 @@ func (pl *partPlan) Commit(nodes int, start units.Time, walltime units.Duration,
 	for i := hint; i < hint+width; i++ {
 		ivs := append(pl.busy[i], ival{from: start, to: end})
 		// Insert in place: the timelines stay sorted by start time.
-		for k := len(ivs) - 1; k > 0 && ivs[k-1].from > ivs[k].from; k-- {
+		k := len(ivs) - 1
+		for ; k > 0 && ivs[k-1].from > ivs[k].from; k-- {
 			ivs[k-1], ivs[k] = ivs[k], ivs[k-1]
 		}
 		pl.busy[i] = ivs
+		pl.undo = append(pl.undo, planUndo{cell: i, pos: k})
 	}
 }

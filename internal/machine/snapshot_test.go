@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"amjs/internal/units"
+)
+
+// snapshotMachines builds one machine of each model with a random
+// running-job population, so Save/Restore is exercised against every
+// Plan implementation.
+func snapshotMachines(rnd *rand.Rand, now units.Time) []Machine {
+	ms := []Machine{NewFlat(256), Machine(NewPartition(8, 32)), Machine(NewTorus(2, 2, 2, 32))}
+	for _, m := range ms {
+		for i := 0; i < rnd.Intn(8); i++ {
+			nodes := 1 + rnd.Intn(m.TotalNodes())
+			wall := units.Duration(1 + rnd.Intn(3000))
+			m.TryStart(i, nodes, now, wall)
+		}
+	}
+	return ms
+}
+
+// probesEqual compares two plans by EarliestStart over a grid of
+// request shapes — the only observable behavior window search depends
+// on.
+func probesEqual(t *testing.T, a, b Plan, total int) bool {
+	t.Helper()
+	for _, nodes := range []int{1, 3, total / 4, total / 2, total} {
+		if nodes < 1 {
+			nodes = 1
+		}
+		for _, wall := range []units.Duration{1, 100, 2500} {
+			ta, ha := a.EarliestStart(nodes, wall)
+			tb, hb := b.EarliestStart(nodes, wall)
+			if ta != tb || ha != hb {
+				t.Logf("probe(%d,%d): (%v,%d) vs (%v,%d)", nodes, wall, ta, ha, tb, hb)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPlanSaveRestore: committing after Save and then restoring must
+// leave the plan observably identical to an untouched clone.
+func TestPlanSaveRestore(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	now := units.Time(1000)
+	for round := 0; round < 40; round++ {
+		for _, m := range snapshotMachines(rnd, now) {
+			p := m.Plan(now)
+			witness := p.Clone()
+			mark := p.Save()
+			for i := 0; i < 1+rnd.Intn(4); i++ {
+				nodes := 1 + rnd.Intn(m.TotalNodes())
+				wall := units.Duration(1 + rnd.Intn(2000))
+				ts, hint := p.EarliestStart(nodes, wall)
+				if ts == units.Forever {
+					continue
+				}
+				p.Commit(nodes, ts, wall, hint)
+			}
+			p.Restore(mark)
+			if !probesEqual(t, p, witness, m.TotalNodes()) {
+				t.Fatalf("round %d, %s: restore did not undo commits", round, m.Name())
+			}
+		}
+	}
+}
+
+// TestPlanSaveRestoreNested: marks are LIFO — restoring an inner mark
+// keeps outer commitments; restoring the outer mark afterwards drops
+// everything.
+func TestPlanSaveRestoreNested(t *testing.T) {
+	now := units.Time(0)
+	for _, m := range snapshotMachines(rand.New(rand.NewSource(5)), now) {
+		p := m.Plan(now)
+		pristine := p.Clone()
+
+		outer := p.Save()
+		ts, hint := p.EarliestStart(4, 100)
+		p.Commit(4, ts, 100, hint)
+		afterOuter := p.Clone()
+
+		inner := p.Save()
+		ts2, hint2 := p.EarliestStart(8, 200)
+		p.Commit(8, ts2, 200, hint2)
+
+		p.Restore(inner)
+		if !probesEqual(t, p, afterOuter, m.TotalNodes()) {
+			t.Fatalf("%s: inner restore lost the outer commit", m.Name())
+		}
+
+		// A mark stays valid for repeated restores while it is the
+		// newest one.
+		ts3, hint3 := p.EarliestStart(2, 50)
+		p.Commit(2, ts3, 50, hint3)
+		p.Restore(inner)
+		if !probesEqual(t, p, afterOuter, m.TotalNodes()) {
+			t.Fatalf("%s: repeated restore to the same mark failed", m.Name())
+		}
+
+		p.Restore(outer)
+		if !probesEqual(t, p, pristine, m.TotalNodes()) {
+			t.Fatalf("%s: outer restore did not reach the pristine state", m.Name())
+		}
+	}
+}
+
+// TestPlanRestoreInvalidMarkPanics: restoring a mark that an outer
+// Restore has already invalidated is a programming error.
+func TestPlanRestoreInvalidMarkPanics(t *testing.T) {
+	for _, m := range []Machine{NewFlat(16), Machine(NewPartition(4, 4)), Machine(NewTorus(2, 2, 1, 4))} {
+		p := m.Plan(0)
+		outer := p.Save()
+		ts, hint := p.EarliestStart(2, 10)
+		p.Commit(2, ts, 10, hint)
+		inner := p.Save()
+		p.Restore(outer)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: restoring an invalidated mark did not panic", m.Name())
+				}
+			}()
+			p.Restore(inner)
+		}()
+	}
+}

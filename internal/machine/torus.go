@@ -299,6 +299,7 @@ type torusPlan struct {
 	now  units.Time
 	m    *Torus
 	busy [][]ival
+	undo []planUndo
 }
 
 // Now implements Plan.
@@ -311,6 +312,14 @@ func (pl *torusPlan) Clone() Plan {
 		c.busy[i] = append([]ival(nil), pl.busy[i]...)
 	}
 	return c
+}
+
+// Save implements Plan: the mark is the undo-log position.
+func (pl *torusPlan) Save() PlanMark { return PlanMark(len(pl.undo)) }
+
+// Restore implements Plan.
+func (pl *torusPlan) Restore(m PlanMark) {
+	pl.undo = undoInserts(pl.busy, pl.undo, int(m))
 }
 
 // earliestForCells mirrors partPlan.earliestForBlock over an arbitrary
@@ -369,9 +378,11 @@ func (pl *torusPlan) Commit(nodes int, start units.Time, walltime units.Duration
 			}
 		}
 		ivs := append(pl.busy[c], ival{from: start, to: end})
-		for k := len(ivs) - 1; k > 0 && ivs[k-1].from > ivs[k].from; k-- {
+		k := len(ivs) - 1
+		for ; k > 0 && ivs[k-1].from > ivs[k].from; k-- {
 			ivs[k-1], ivs[k] = ivs[k], ivs[k-1]
 		}
 		pl.busy[c] = ivs
+		pl.undo = append(pl.undo, planUndo{cell: c, pos: k})
 	}
 }

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Indices 30 and 60 fail; whatever the completion order, the
+	// reported error must be index 30's — what a serial loop hits first.
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 30 failed" {
+			t.Errorf("workers=%d: err = %v, want task 30's", workers, err)
+		}
+	}
+}
+
+func TestForEachSkipsAfterFailure(t *testing.T) {
+	// With one worker the loop is serial: nothing past the failing index
+	// may run.
+	var ran atomic.Int32
+	err := ForEach(50, 1, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if got := ran.Load(); got != 11 {
+		t.Errorf("ran %d tasks after serial failure at 10, want 11", got)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	want := make([]int, 200)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 0} {
+		got, err := Map(len(want), workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results out of order", workers)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	got, err := Map(10, 4, func(i int) (string, error) {
+		if i == 3 {
+			return "", errors.New("bad")
+		}
+		return "ok", nil
+	})
+	if err == nil || got != nil {
+		t.Errorf("Map error path: got %v, err %v", got, err)
+	}
+}

@@ -123,9 +123,10 @@ func (r *Reserving) scheduleRelaxed(env Env, queue []*job.Job) {
 		}
 		// Candidate fits now when the reservation is ignored: admit it
 		// only if the reservation slips by at most the slack.
-		probe := free.Clone()
-		probe.Commit(j.Nodes, now, j.Walltime, hint)
-		slipped, _ := probe.EarliestStart(resJob.Nodes, resJob.Walltime)
+		mark := free.Save()
+		free.Commit(j.Nodes, now, j.Walltime, hint)
+		slipped, _ := free.EarliestStart(resJob.Nodes, resJob.Walltime)
+		free.Restore(mark)
 		if slipped > resOrigin.Add(r.RelaxSlack) {
 			continue
 		}

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Runs the window-search benchmarks and writes a machine-readable
+# summary to BENCH_<n>.json (default BENCH_1.json) so perf changes are
+# tracked in-repo.
+#
+# Usage: scripts/bench.sh [output.json] [bench regex]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_1.json}
+pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit'}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "bench.sh: running go test -bench '$pattern' ..." >&2
+go test -run '^$' -bench "$pattern" -benchmem -count 1 . | tee "$raw" >&2
+
+goversion=$(go env GOVERSION)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+awk -v goversion="$goversion" -v stamp="$stamp" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    benches[++n] = line
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", stamp
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++)
+        printf "%s%s\n", benches[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" >"$out"
+
+echo "bench.sh: wrote $out" >&2
