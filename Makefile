@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke verify bench clean
+.PHONY: all build test race vet bench-smoke verify bench bench-compare clean
 
 all: build
 
@@ -19,16 +19,26 @@ vet:
 # A one-iteration pass over the scheduling benchmarks: catches bench
 # bit-rot without the minutes-long measured run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd' -benchtime 1x .
 
 # verify is the pre-merge gate: vet, build, the full suite under the
-# race detector, and a benchmark smoke test.
+# race detector, and a benchmark smoke test. The benchmark comparison
+# runs too, but non-fatally: measured numbers vary with the machine, so
+# a regression there warns without blocking the gate.
 verify: vet build race bench-smoke
+	-$(MAKE) bench-compare
 
-# bench runs the measured window-search benchmarks and records them as
-# machine-readable JSON (see scripts/bench.sh).
+# bench runs the measured scheduling benchmarks (window-search micro
+# plus end-to-end simulation) and records them as machine-readable JSON
+# (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh
+
+# bench-compare diffs the current benchmark artifact against the
+# previous PR's and fails if anything shared regressed by more than
+# 20% ns/op (see cmd/benchcompare).
+bench-compare:
+	$(GO) run ./cmd/benchcompare BENCH_1.json BENCH_2.json
 
 clean:
 	rm -f amjs.test cpu.prof mem.prof

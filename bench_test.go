@@ -251,6 +251,42 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkSimEndToEnd measures full trace simulation throughput
+// (jobs/sec) under the metric-aware policy — the cost that bounds how
+// many seeds and configurations an evaluation campaign can afford. The
+// fairness=on variants pay for one nested no-later-arrival simulation
+// per submission; the periodic variants run the production ~10 s
+// scheduling cadence (§IV-D), where most ticks change nothing and the
+// engine's pass elision applies.
+func BenchmarkSimEndToEnd(b *testing.B) {
+	jobs := benchJobs(b, 42, 400)
+	for _, c := range []struct {
+		name     string
+		fairness bool
+		period   units.Duration
+	}{
+		{"event/fair=off", false, 0},
+		{"event/fair=on", true, 0},
+		{"periodic/fair=off", false, 10 * units.Second},
+		{"periodic/fair=on", true, 10 * units.Second},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				_, err := sim.Run(sim.Config{
+					Machine:        benchMachine(),
+					Scheduler:      core.NewMetricAware(0.5, 4),
+					Fairness:       c.fairness,
+					SchedulePeriod: c.period,
+				}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
 // BenchmarkFairnessOracle isolates the cost of the nested fair-start
 // simulations relative to a plain run.
 func BenchmarkFairnessOracle(b *testing.B) {

@@ -1,0 +1,118 @@
+// Command benchcompare diffs two BENCH_<n>.json artifacts produced by
+// scripts/bench.sh and fails (exit 1) when any benchmark present in
+// both regressed by more than the allowed fraction in ns/op. It is the
+// in-repo guard against performance backsliding between PRs:
+//
+//	benchcompare [-max-regress 0.20] OLD.json NEW.json
+//
+// When the new artifact embeds a "baseline" section (pre-change
+// end-to-end numbers), the speedup against it is reported as well;
+// that comparison is informational and never fails the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type bench struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+type artifact struct {
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	Benchmarks []bench `json:"benchmarks"`
+	Baseline   *struct {
+		Note       string  `json:"note"`
+		Benchmarks []bench `json:"benchmarks"`
+	} `json:"baseline"`
+}
+
+func load(path string) (*artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+func byName(bs []bench) map[string]bench {
+	m := make(map[string]bench, len(bs))
+	for _, b := range bs {
+		m[b.Name] = b
+	}
+	return m
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"maximum allowed fractional ns/op regression before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress 0.20] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldArt, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	newArt, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+
+	oldBy := byName(oldArt.Benchmarks)
+	shared, regressions := 0, 0
+	for _, nb := range newArt.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok || ob.NsPerOp <= 0 {
+			continue
+		}
+		shared++
+		change := nb.NsPerOp/ob.NsPerOp - 1
+		status := "ok"
+		if change > *maxRegress {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-52s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, change*100, status)
+	}
+	if shared == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: no shared benchmarks between %s and %s\n",
+			flag.Arg(0), flag.Arg(1))
+		os.Exit(2)
+	}
+
+	if newArt.Baseline != nil {
+		fmt.Printf("\nspeedup vs embedded baseline (%s):\n", newArt.Baseline.Note)
+		newBy := byName(newArt.Benchmarks)
+		for _, bb := range newArt.Baseline.Benchmarks {
+			nb, ok := newBy[bb.Name]
+			if !ok || nb.NsPerOp <= 0 {
+				continue
+			}
+			fmt.Printf("%-52s %12.0f -> %12.0f ns/op  %5.2fx\n",
+				bb.Name, bb.NsPerOp, nb.NsPerOp, bb.NsPerOp/nb.NsPerOp)
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed more than %.0f%%\n",
+			regressions, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchcompare: %d shared benchmark(s), none regressed more than %.0f%%\n",
+		shared, *maxRegress*100)
+}

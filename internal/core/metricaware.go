@@ -83,11 +83,14 @@ type MetricAware struct {
 	// nameOverride replaces the default Name when non-empty.
 	nameOverride string
 
-	// search is the reusable scratch state of the branch-and-bound
-	// window search — buffers only, not configuration. Clone drops it so
-	// two scheduler instances never share scratch (the parallel
-	// experiment runner runs clones concurrently).
+	// search and prio are the reusable scratch state of the
+	// branch-and-bound window search and the priority scoring pass —
+	// buffers only, not configuration. Clone drops them so two scheduler
+	// instances never share scratch (the parallel experiment runner runs
+	// clones concurrently); AdoptScratch transplants them from a retired
+	// clone instead.
 	search *permSearch
+	prio   *prioScratch
 }
 
 // NewMetricAware returns a metric-aware scheduler with the given balance
@@ -119,7 +122,25 @@ func (s *MetricAware) Name() string {
 func (s *MetricAware) Clone() sched.Scheduler {
 	c := *s
 	c.search = nil
+	c.prio = nil
 	return &c
+}
+
+// AdoptScratch transplants the scoring and search buffers of a retired
+// clone into this scheduler, so a hot clone-per-call loop (the fairness
+// oracle spawns one clone per submission) reallocates nothing after
+// warm-up. The donor must not be used again.
+func (s *MetricAware) AdoptScratch(from sched.Scheduler) {
+	f, ok := from.(*MetricAware)
+	if !ok || f == s {
+		return
+	}
+	if s.search == nil {
+		s.search, f.search = f.search, nil
+	}
+	if s.prio == nil {
+		s.prio, f.prio = f.prio, nil
+	}
 }
 
 // Tunables reports the current policy parameters (recorded by the
@@ -140,11 +161,43 @@ func (s *MetricAware) Schedule(env sched.Env) {
 		return
 	}
 	now := env.Now()
+
+	// Fast path: a pass that provably changes nothing is skipped before
+	// the plan is even built. No queued job fitting the idle node count
+	// means no start can succeed (a start only consumes idle nodes), so
+	// the pass could at most move reservation state — and it cannot
+	// move that either when the scheduler keeps none across passes
+	// (conservative mode) or when the EASY reservation is held by a
+	// still-queued job: re-committing it probes and writes only the
+	// pass-local plan, and with nothing startable every window takes
+	// the backfill skip. On a saturated machine — most passes of a
+	// nested fairness run — this reduces a pass to one integer compare
+	// per queued job.
+	if s.Conservative || s.reservedID != 0 {
+		idle := env.Machine().IdleNodes()
+		fits, held := false, false
+		for _, j := range queue {
+			if j.Nodes <= idle {
+				fits = true
+				break
+			}
+			if j.ID == s.reservedID {
+				held = true
+			}
+		}
+		if !fits && (s.Conservative || held) {
+			return
+		}
+	}
+
 	var sorted []*job.Job
 	if s.order != nil {
 		sorted = s.order(now, queue)
 	} else {
-		sorted = Prioritize(now, queue, s.BF)
+		if s.prio == nil {
+			s.prio = &prioScratch{}
+		}
+		sorted = s.prio.prioritize(now, queue, s.BF)
 	}
 	plan := env.Machine().Plan(now)
 	w := s.W
@@ -185,23 +238,37 @@ func (s *MetricAware) Schedule(env sched.Env) {
 		}
 		window := sorted[pos:end]
 
-		if reserved && !s.Conservative {
+		startable := windowStartableNow(env, plan, window, now)
+		if reserved && !s.Conservative && startable == 0 {
 			// Backfill regime: without reservations to place, a window
-			// in which nothing fits now cannot contribute; skip the
-			// permutation search.
-			any := false
-			for _, j := range window {
-				if ts, _ := plan.EarliestStart(j.Nodes, j.Walltime); ts == now {
-					any = true
-					break
-				}
-			}
-			if !any {
-				continue
-			}
+			// in which nothing fits now cannot contribute.
+			continue
 		}
 
-		perm := s.bestPermutation(plan, window, now)
+		var perm []int
+		if !s.PermOrderReservation && startable < 2 {
+			// The permutation is provably irrelevant, so the search is
+			// skipped. With nothing startable, no order starts any job;
+			// with exactly one startable job, every order starts exactly
+			// that job with the same placement — starts are the only
+			// commits the pass makes while walking the permutation, so
+			// space never grows mid-window and no other job can become
+			// startable, and the lone start's probe sees the untouched
+			// window-entry plan in every order. Either way the blocked
+			// jobs are probed and reserved in window (priority) order
+			// below, independent of the permutation. (Perm-order
+			// reservation mode consults the winning order for blocked
+			// placement, so it keeps the search.) Saturated and
+			// single-backfill passes — the bulk of a backlogged stretch
+			// and of nested fairness runs — skip the branch-and-bound
+			// entirely.
+			if s.search == nil {
+				s.search = &permSearch{}
+			}
+			perm = s.search.identity(len(window))
+		} else {
+			perm = s.bestPermutation(plan, window, now)
+		}
 		var blocked []*job.Job
 		for _, idx := range perm {
 			j := window[idx]
@@ -255,6 +322,28 @@ func (s *MetricAware) Schedule(env sched.Env) {
 			}
 		}
 	}
+}
+
+// windowStartableNow counts the window's jobs that can start at this
+// instant under the plan, capped at 2 — callers only distinguish
+// none / exactly one / several. A start can only consume idle nodes,
+// so a request exceeding the idle count is rejected before the (much
+// more expensive) plan probe; when the machine is saturated every job
+// short-circuits and the window costs a handful of integer compares.
+func windowStartableNow(env sched.Env, plan machine.Plan, window []*job.Job, now units.Time) int {
+	idle := env.Machine().IdleNodes()
+	n := 0
+	for _, j := range window {
+		if j.Nodes > idle {
+			continue
+		}
+		if ts, _ := plan.EarliestStart(j.Nodes, j.Walltime); ts == now {
+			if n++; n == 2 {
+				break
+			}
+		}
+	}
+	return n
 }
 
 // contains reports whether jobs includes j.

@@ -49,6 +49,26 @@ func BalancedPriority(sw, sr, bf float64) float64 {
 // highest first. Ties are broken by submission time then ID, so BF=1
 // yields exactly the FCFS order.
 func Prioritize(now units.Time, queue []*job.Job, bf float64) []*job.Job {
+	var scratch prioScratch
+	return append([]*job.Job(nil), scratch.prioritize(now, queue, bf)...)
+}
+
+// prioScratch holds the scoring and sorting buffers of one Prioritize
+// pass. The metric-aware scheduler keeps one per instance so that after
+// warm-up a scheduling pass allocates nothing for scoring: the paper's
+// evaluation needs thousands of simulations, each running this on every
+// pass of every nested fairness simulation.
+type prioScratch struct {
+	jobs   []*job.Job
+	scores []float64
+}
+
+// prioritize scores queue into the scratch buffers and sorts them by
+// balanced priority, highest first, ties broken by (submit, ID). The
+// comparison is a strict total order (IDs are unique), so the result is
+// the unique sorted sequence — identical to what a stable sort yields.
+// The returned slice is scratch, valid until the next call.
+func (p *prioScratch) prioritize(now units.Time, queue []*job.Job, bf float64) []*job.Job {
 	if len(queue) == 0 {
 		return nil
 	}
@@ -65,22 +85,38 @@ func Prioritize(now units.Time, queue []*job.Job, bf float64) []*job.Job {
 			wallMax = j.Walltime
 		}
 	}
-	score := make(map[*job.Job]float64, len(queue))
-	for _, j := range queue {
+	p.jobs = append(p.jobs[:0], queue...)
+	if cap(p.scores) < len(queue) {
+		p.scores = make([]float64, len(queue))
+	}
+	p.scores = p.scores[:len(queue)]
+	for i, j := range queue {
 		sw := ScoreWait(j.WaitAt(now), waitMax)
 		sr := ScoreRuntime(j.Walltime, wallMin, wallMax)
-		score[j] = BalancedPriority(sw, sr, bf)
+		p.scores[i] = BalancedPriority(sw, sr, bf)
 	}
-	out := append([]*job.Job(nil), queue...)
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if score[a] != score[b] {
-			return score[a] > score[b]
-		}
-		if a.Submit != b.Submit {
-			return a.Submit < b.Submit
-		}
-		return a.ID < b.ID
-	})
-	return out
+	sort.Sort(p)
+	return p.jobs
+}
+
+// Len implements sort.Interface over the parallel (jobs, scores) pair.
+func (p *prioScratch) Len() int { return len(p.jobs) }
+
+// Swap implements sort.Interface.
+func (p *prioScratch) Swap(i, j int) {
+	p.jobs[i], p.jobs[j] = p.jobs[j], p.jobs[i]
+	p.scores[i], p.scores[j] = p.scores[j], p.scores[i]
+}
+
+// Less implements sort.Interface: balanced priority descending, ties by
+// (submit, ID) ascending.
+func (p *prioScratch) Less(i, j int) bool {
+	if p.scores[i] != p.scores[j] {
+		return p.scores[i] > p.scores[j]
+	}
+	a, b := p.jobs[i], p.jobs[j]
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
 }

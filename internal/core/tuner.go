@@ -203,6 +203,14 @@ func (t *Tuner) Clone() sched.Scheduler {
 	return &Tuner{base: &base, schemes: append([]Scheme(nil), t.schemes...)}
 }
 
+// AdoptScratch transplants the wrapped scheduler's scratch buffers from
+// a retired Tuner clone (see MetricAware.AdoptScratch).
+func (t *Tuner) AdoptScratch(from sched.Scheduler) {
+	if f, ok := from.(*Tuner); ok && f != t {
+		t.base.AdoptScratch(f.base)
+	}
+}
+
 // Checkpoint implements sched.Adaptive.
 func (t *Tuner) Checkpoint(env sched.Env, m sched.MetricsView) {
 	for _, s := range t.schemes {

@@ -54,6 +54,18 @@ func (q *Queue[T]) Peek() (it Item[T], ok bool) {
 	return q.h[0], true
 }
 
+// Reset empties the queue for reuse, keeping the backing storage so a
+// hot caller (the fairness oracle's per-submission sub-simulations) can
+// refill it without reallocating.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := range q.h {
+		q.h[i].Payload = zero // release payload references
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
 // Clone returns an independent copy of the queue (payloads are copied
 // shallowly; remap them afterwards if they hold pointers).
 func (q *Queue[T]) Clone() *Queue[T] {

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/artifact_sha256.txt from the current engine")
+
+const goldenFile = "testdata/artifact_sha256.txt"
+
+// TestArtifactsGolden pins every experiment artifact — including the
+// fairness-enabled runs of Fig. 3, Table II, and the multi-seed sweep —
+// to SHA-256 hashes committed in testdata. Engine performance work
+// (pass elision, the pruned fairness oracle, incremental queue state,
+// metric-window cursors) must leave every table, CSV, and SVG
+// byte-identical; this test is the before/after proof. Regenerate with
+// -update-goldens only for changes that intentionally alter results.
+func TestArtifactsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	out, logs, files := runDeterministic(t, 4)
+
+	got := map[string]string{
+		"<rendered-output>": hashOf([]byte(out)),
+		"<log-stream>":      hashOf([]byte(logs)),
+	}
+	for name, b := range files {
+		got[name] = hashOf(b)
+	}
+
+	if *updateGoldens {
+		var names []string
+		for name := range got {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var sb strings.Builder
+		for _, name := range names {
+			fmt.Fprintf(&sb, "%s  %s\n", got[name], name)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", goldenFile, len(names))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with -update-goldens): %v", err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		h, name, ok := strings.Cut(line, "  ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[name] = h
+	}
+
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("artifact %s missing from this run", name)
+			continue
+		}
+		if g != want[name] {
+			t.Errorf("artifact %s changed: got %s, want %s", name, g, want[name])
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("new artifact %s not in goldens (regenerate with -update-goldens)", name)
+		}
+	}
+}
+
+func hashOf(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

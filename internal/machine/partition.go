@@ -325,14 +325,19 @@ func (pl *partPlan) blockFree(start, width int, t units.Time, d units.Duration) 
 }
 
 // earliestForBlock returns the earliest t >= now at which the block is
-// free for the duration. It repeatedly jumps the candidate start to the
+// free for the duration, or Forever once the candidate reaches bound
+// (the caller's incumbent best: a later start cannot win, so the jump
+// loop stops probing). It repeatedly jumps the candidate start to the
 // latest end among currently conflicting intervals: a window starting
 // before a conflicting interval's end still overlaps that interval, so
 // every conflicting end is a lower bound on the feasible start. Each
 // jump passes at least one interval end, so the loop terminates.
-func (pl *partPlan) earliestForBlock(start, width int, d units.Duration) units.Time {
+func (pl *partPlan) earliestForBlock(start, width int, d units.Duration, bound units.Time) units.Time {
 	t := pl.now
 	for {
+		if t >= bound {
+			return units.Forever
+		}
 		conflictEnd := units.Time(-1)
 		windowEnd := t.Add(d)
 		for i := start; i < start+width; i++ {
@@ -350,16 +355,35 @@ func (pl *partPlan) earliestForBlock(start, width int, d units.Duration) units.T
 }
 
 // EarliestStart implements Plan. The hint is the start midplane of the
-// chosen block.
+// chosen block. Ties keep the first (lowest) block: a candidate must
+// strictly beat the incumbent, which the bound passed down to
+// earliestForBlock also enforces.
 func (pl *partPlan) EarliestStart(nodes int, walltime units.Duration) (units.Time, int) {
 	width := pl.m.BlockMidplanes(nodes)
 	if width < 0 || walltime <= 0 {
 		return units.Forever, -1
 	}
-	best := units.Forever
+	// Immediate-fit sweep: a block whose midplanes are all idle on the
+	// machine and uncommitted over [now, now+walltime) starts now. The
+	// occupancy bits screen candidates in O(1) per midplane (a busy
+	// midplane always carries a timeline interval opening at now), so a
+	// probe that can be answered "now" — most probes while a machine
+	// drains — never enters the jump loop below. The sweep is a fast
+	// path only: phase two reproduces the same answer when it misses.
 	hint := -1
 	pl.m.alignedStarts(width, func(s int) bool {
-		t := pl.earliestForBlock(s, width, walltime)
+		if pl.m.blockFreeNow(s, width) && pl.blockFree(s, width, pl.now, walltime) {
+			hint = s
+			return false
+		}
+		return true
+	})
+	if hint >= 0 {
+		return pl.now, hint
+	}
+	best := units.Forever
+	pl.m.alignedStarts(width, func(s int) bool {
+		t := pl.earliestForBlock(s, width, walltime, best)
 		if t < best {
 			best, hint = t, s
 		}

@@ -51,6 +51,15 @@ type Collector struct {
 	lastEvent  units.Time
 	finished   int
 	killed     int
+
+	// Window-lookup cursors: checkpoints query the Busy series at
+	// non-decreasing times, so each rolling-window endpoint resolves in
+	// amortized O(1) instead of rescanning (binary-searching) the whole
+	// step history. One start cursor per window width, one shared end
+	// cursor, one cursor for the instantaneous sample.
+	winStart map[units.Duration]*stats.Cursor
+	winEnd   stats.Cursor
+	atCur    stats.Cursor
 }
 
 // NewCollector returns a collector for a machine of the given size.
@@ -122,16 +131,27 @@ func QueueDepthMinutes(now units.Time, queue []*job.Job) float64 {
 }
 
 // UtilWindowAvg returns the machine utilization averaged over the
-// trailing window ending at now (1.0 = fully busy).
+// trailing window ending at now (1.0 = fully busy). Successive calls
+// with non-decreasing now are amortized O(1) per call (per distinct
+// window width); time never runs backwards in a simulation, so every
+// caller gets the fast path.
 func (c *Collector) UtilWindowAvg(now units.Time, w units.Duration) float64 {
-	return c.Busy.WindowAverage(now, w) / float64(c.totalNodes)
+	if c.winStart == nil {
+		c.winStart = make(map[units.Duration]*stats.Cursor)
+	}
+	start := c.winStart[w]
+	if start == nil {
+		start = new(stats.Cursor)
+		c.winStart[w] = start
+	}
+	return c.Busy.WindowAverageCursor(now, w, start, &c.winEnd) / float64(c.totalNodes)
 }
 
 // OnCheckpoint samples the checkpoint series. bf/w are the scheduler's
 // current tunables when it exposes them (hasTunables).
 func (c *Collector) OnCheckpoint(now units.Time, queue []*job.Job, bf float64, w int, hasTunables bool) {
 	c.QD.Append(now, QueueDepthMinutes(now, queue))
-	c.UtilInstant.Append(now, c.Busy.At(now)/float64(c.totalNodes))
+	c.UtilInstant.Append(now, c.Busy.AtCursor(now, &c.atCur)/float64(c.totalNodes))
 	c.Util1H.Append(now, c.UtilWindowAvg(now, units.Hour))
 	c.Util10H.Append(now, c.UtilWindowAvg(now, 10*units.Hour))
 	c.Util24H.Append(now, c.UtilWindowAvg(now, 24*units.Hour))

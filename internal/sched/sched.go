@@ -28,8 +28,12 @@ type Env interface {
 	// and obtain Plans, but must start jobs only through Start/StartAt.
 	Machine() machine.Machine
 
-	// Queue returns the waiting jobs in submission order. The slice is
-	// the scheduler's to reorder; the jobs are shared.
+	// Queue returns the waiting jobs in submission order as a shared
+	// read-only view: the same backing array is handed to every caller
+	// and reused across passes, so schedulers must not modify the slice
+	// in place (copy it before reordering — see sortBy) and must not
+	// retain it across Schedule calls. The pointed-to jobs are shared
+	// with the engine; schedulers mutate them only through Start/StartAt.
 	Queue() []*job.Job
 
 	// Start begins a job now with default placement, returning false if

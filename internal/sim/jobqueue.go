@@ -1,0 +1,100 @@
+package sim
+
+import "amjs/internal/job"
+
+// jobQueue holds the waiting jobs in arrival order with O(1) removal.
+//
+// The simulator dequeues jobs in whatever order the policy starts them,
+// not FIFO, so a plain slice costs an O(n) splice per start. Here each
+// job occupies a slot; removal blanks the slot and the slot array is
+// compacted lazily once holes dominate, keeping both push and remove
+// amortized O(1) while preserving arrival order.
+//
+// jobs() returns a cached compact view that is rebuilt only after the
+// queue changed. The view is shared: callers (schedulers, via
+// sched.Env.Queue) must treat it as read-only and must not retain it
+// across engine mutations — the backing array is reused in place.
+type jobQueue struct {
+	slots []*job.Job       // arrival order; nil where a job left
+	pos   map[*job.Job]int // job → index into slots
+	view  []*job.Job       // cached compact snapshot, nil-hole free
+	stale bool             // view needs rebuilding
+}
+
+// compactionFloor is the slot count below which the queue never bothers
+// compacting; tiny queues just rebuild the view.
+const compactionFloor = 32
+
+// push appends a job in arrival order.
+func (q *jobQueue) push(j *job.Job) {
+	if q.pos == nil {
+		q.pos = make(map[*job.Job]int)
+	}
+	q.pos[j] = len(q.slots)
+	q.slots = append(q.slots, j)
+	q.stale = true
+}
+
+// remove deletes a job, preserving the relative order of the rest.
+// Removing a job not in the queue is a no-op.
+func (q *jobQueue) remove(j *job.Job) {
+	i, ok := q.pos[j]
+	if !ok {
+		return
+	}
+	q.slots[i] = nil
+	delete(q.pos, j)
+	q.stale = true
+	if len(q.slots) >= compactionFloor && len(q.pos) < len(q.slots)/2 {
+		q.compact()
+	}
+}
+
+// compact squeezes the nil holes out of the slot array in place.
+func (q *jobQueue) compact() {
+	w := 0
+	for _, j := range q.slots {
+		if j != nil {
+			q.pos[j] = w
+			q.slots[w] = j
+			w++
+		}
+	}
+	for i := w; i < len(q.slots); i++ {
+		q.slots[i] = nil // release for GC
+	}
+	q.slots = q.slots[:w]
+}
+
+// len reports the number of queued jobs.
+func (q *jobQueue) len() int { return len(q.pos) }
+
+// jobs returns the queued jobs in arrival order as a shared read-only
+// view, valid until the queue next changes.
+func (q *jobQueue) jobs() []*job.Job {
+	if q.stale {
+		q.view = q.view[:0]
+		for _, j := range q.slots {
+			if j != nil {
+				q.view = append(q.view, j)
+			}
+		}
+		q.stale = false
+	}
+	return q.view
+}
+
+// reset empties the queue, keeping the backing storage so a hot caller
+// (the fairness oracle's reused sub-engine) can refill it cheaply.
+func (q *jobQueue) reset() {
+	for i := range q.slots {
+		q.slots[i] = nil
+	}
+	q.slots = q.slots[:0]
+	for i := range q.view {
+		q.view[i] = nil
+	}
+	q.view = q.view[:0]
+	clear(q.pos)
+	q.stale = false
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"amjs/internal/eventq"
 	"amjs/internal/job"
@@ -80,6 +81,19 @@ type Config struct {
 	// (arrivals, starts, completions, checkpoints) — a debugging and
 	// teaching aid, not a metrics path.
 	Trace io.Writer
+
+	// disableElision turns off no-op scheduling-pass elision, forcing a
+	// policy invocation at every due pass exactly as the naive engine
+	// did. Test hook: the equivalence suite proves elision on/off yields
+	// identical schedules.
+	disableElision bool
+
+	// naiveOracle routes fairness queries through the reference oracle
+	// (a fresh, fully cloned, elision-free nested engine per target job)
+	// instead of the batched, state-reusing one. Test hook: the
+	// oracle-equivalence suite proves both produce bit-identical fair
+	// starts.
+	naiveOracle bool
 }
 
 // Result is the outcome of a simulation.
@@ -121,6 +135,7 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		running:    make(map[*job.Job]machine.Alloc),
 		collector:  metrics.NewCollector(m.TotalNodes()),
 		fairStarts: make(map[int]units.Time),
+		dirty:      true,
 	}
 
 	var accepted, rejected []*job.Job
@@ -189,11 +204,32 @@ type engine struct {
 	machine    machine.Machine
 	scheduler  sched.Scheduler
 	events     eventq.Queue[*job.Job]
-	queue      []*job.Job // waiting jobs in arrival order
+	queue      jobQueue // waiting jobs in arrival order
 	running    map[*job.Job]machine.Alloc
 	collector  *metrics.Collector
 	fairStarts map[int]units.Time
 	sub        bool // nested fairness simulation: no checkpoints, no oracle
+
+	// Pass-elision state (see run): dirty records whether anything
+	// schedule-relevant happened since the last executed scheduling
+	// pass; lastDelta caches Eq. 4's δ — whether some queued job fits
+	// the idle nodes — for the state the last pass left behind.
+	dirty     bool
+	lastDelta bool
+
+	// Scratch reused across instants and oracle runs.
+	arrived  []*job.Job // jobs that arrived at the current instant
+	oracle   *engine    // one nested fairness engine, reset per batch
+	arena    []job.Job  // clone storage for one oracle run
+	orderBuf []*job.Job // deterministic ordering of the running set
+	tclones  []*job.Job // clones of the oracle batch's target jobs
+}
+
+// scratchAdopter is implemented by schedulers whose fresh clones can
+// transplant warm scratch buffers from a retired clone of the same
+// scheduler (core.MetricAware and its tuner do).
+type scratchAdopter interface {
+	AdoptScratch(sched.Scheduler)
 }
 
 // run drives the event loop until no events remain or stop returns true
@@ -211,7 +247,7 @@ func (e *engine) run(stop func() bool) error {
 		e.now = next.Time
 		checkpoint := false
 		tick := false
-		var arrivedNow []*job.Job
+		e.arrived = e.arrived[:0]
 
 		// Drain every event at this instant before scheduling once.
 		for {
@@ -231,52 +267,92 @@ func (e *engine) run(stop func() bool) error {
 			case evArrive:
 				j := it.Payload
 				j.State = job.Queued
-				e.queue = append(e.queue, j)
-				arrivedNow = append(arrivedNow, j)
+				e.queue.push(j)
+				e.arrived = append(e.arrived, j)
+				e.dirty = true
 				e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
 			case evTick:
 				tick = true
 			case evCheckpoint:
+				// The checkpoint may retune the policy, so the next due
+				// pass can never be elided.
 				checkpoint = true
+				e.dirty = true
 			}
 		}
 
 		// Fairness oracle: fair start times are defined at submission,
-		// before this instant's scheduling pass.
-		if e.cfg.Fairness && !e.sub {
-			for _, j := range arrivedNow {
-				e.fairStarts[j.ID] = e.fairStartOf(j)
+		// before this instant's scheduling pass. All jobs arriving at one
+		// instant see the same no-later-arrival world, so one nested run
+		// serves the whole batch.
+		if e.cfg.Fairness && !e.sub && len(e.arrived) > 0 {
+			if e.cfg.naiveOracle {
+				e.fairStartNaive(e.arrived)
+			} else {
+				e.fairStartBatch(e.arrived)
 			}
 		}
 
 		if checkpoint && !e.sub {
 			bf, w, hasTunables := e.tunables()
-			e.collector.OnCheckpoint(e.now, e.Queue(), bf, w, hasTunables)
+			e.collector.OnCheckpoint(e.now, e.queue.jobs(), bf, w, hasTunables)
 			if hasTunables {
-				e.trace("checkpoint queue=%d bf=%g w=%d", len(e.queue), bf, w)
+				e.trace("checkpoint queue=%d bf=%g w=%d", e.queue.len(), bf, w)
 			} else {
-				e.trace("checkpoint queue=%d", len(e.queue))
+				e.trace("checkpoint queue=%d", e.queue.len())
 			}
 			if ad, ok := e.scheduler.(sched.Adaptive); ok {
 				ad.Checkpoint(e, e)
 			}
-			if e.events.Len() > 0 || len(e.queue) > 0 || len(e.running) > 0 {
+			if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 {
 				e.events.Push(e.now.Add(e.cfg.CheckInterval), evCheckpoint, nil)
 			}
 		}
 
 		// Event-driven mode schedules after every batch; periodic mode
 		// only on ticks (and at checkpoints, where the policy may have
-		// just been retuned).
+		// just been retuned). A due pass is elided when it is provably a
+		// no-op: nothing schedule-relevant happened since the last
+		// executed pass (so the policy would see the exact state it
+		// already resolved, modulo the clock) and the cached δ says no
+		// queued job fits the idle nodes (so no start — and no change to
+		// reservation state, which only moves when a grant is possible
+		// or the state it was computed from changes). Idle and drain
+		// stretches in periodic mode then cost O(1) per tick.
+		ran := false
 		if e.cfg.SchedulePeriod <= 0 || tick || checkpoint {
-			e.scheduler.Schedule(e)
+			if e.cfg.disableElision || e.dirty || e.lastDelta {
+				e.scheduler.Schedule(e)
+				ran = true
+			}
 		}
-		if tick && (e.events.Len() > 0 || len(e.queue) > 0 || len(e.running) > 0) {
-			e.events.Push(e.now.Add(e.cfg.SchedulePeriod), evTick, nil)
+		// δ is recomputed whenever the state could differ from the value
+		// cached at the last executed pass; an elided pass keeps both the
+		// state and the cache, byte-identically.
+		if ran || e.dirty {
+			e.lastDelta = e.queuedJobFitsIdle()
+		}
+		if ran {
+			e.dirty = false
+		}
+
+		if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0) {
+			next := e.now.Add(e.cfg.SchedulePeriod)
+			if e.sub && !e.cfg.disableElision && !e.dirty && !e.lastDelta {
+				// Nested runs have no collector to sample, so a stretch
+				// of would-be-elided ticks is pure dead time: jump to the
+				// first tick on the same phase grid at or after the next
+				// pending event.
+				if it, ok := e.events.Peek(); ok && it.Time > next {
+					k := (it.Time.Sub(next) + e.cfg.SchedulePeriod - 1) / e.cfg.SchedulePeriod
+					next = next.Add(k * e.cfg.SchedulePeriod)
+				}
+			}
+			e.events.Push(next, evTick, nil)
 		}
 
 		if !e.sub {
-			e.collector.OnScheduleStep(e.now, e.machine.BusyNodes(), e.machine.UsedNodes(), e.queuedJobFitsIdle())
+			e.collector.OnScheduleStep(e.now, e.machine.BusyNodes(), e.machine.UsedNodes(), e.lastDelta)
 		}
 		if e.cfg.Paranoid {
 			e.checkInvariants()
@@ -298,7 +374,7 @@ func (e *engine) checkInvariants() {
 	if m.RunningCount() != len(e.running) {
 		panic(fmt.Sprintf("sim: machine has %d allocations, engine tracks %d", m.RunningCount(), len(e.running)))
 	}
-	for _, q := range e.queue {
+	for _, q := range e.queue.jobs() {
 		if q.State != job.Queued {
 			panic(fmt.Sprintf("sim: job %d in queue with state %v", q.ID, q.State))
 		}
@@ -340,7 +416,7 @@ func (e *engine) tunables() (float64, int, bool) {
 // than the idle node count — Eq. 4's δ condition.
 func (e *engine) queuedJobFitsIdle() bool {
 	idle := e.machine.IdleNodes()
-	for _, j := range e.queue {
+	for _, j := range e.queue.jobs() {
 		if j.Nodes <= idle {
 			return true
 		}
@@ -356,6 +432,7 @@ func (e *engine) finish(j *job.Job) {
 	}
 	e.machine.Release(alloc, e.now)
 	delete(e.running, j)
+	e.dirty = true
 	j.End = e.now
 	if j.Runtime > j.Walltime {
 		j.State = job.Killed
@@ -373,8 +450,11 @@ func (e *engine) Now() units.Time { return e.now }
 // Machine implements sched.Env.
 func (e *engine) Machine() machine.Machine { return e.machine }
 
-// Queue implements sched.Env.
-func (e *engine) Queue() []*job.Job { return append([]*job.Job(nil), e.queue...) }
+// Queue implements sched.Env. The returned slice is a shared read-only
+// view (see sched.Env: callers copy before reordering and must not
+// retain it across engine mutations); handing it out without copying
+// keeps the per-pass cost allocation-free.
+func (e *engine) Queue() []*job.Job { return e.queue.jobs() }
 
 // Start implements sched.Env.
 func (e *engine) Start(j *job.Job) bool {
@@ -403,12 +483,8 @@ func (e *engine) begin(j *job.Job, a machine.Alloc) {
 	j.State = job.Running
 	j.Start = e.now
 	e.running[j] = a
-	for i, q := range e.queue {
-		if q == j {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			break
-		}
-	}
+	e.queue.remove(j)
+	e.dirty = true
 	effective := j.Runtime
 	if effective > j.Walltime {
 		effective = j.Walltime // killed at the limit
@@ -424,7 +500,7 @@ func (e *engine) begin(j *job.Job, a machine.Alloc) {
 
 // QueueDepthMinutes implements sched.MetricsView.
 func (e *engine) QueueDepthMinutes() float64 {
-	return metrics.QueueDepthMinutes(e.now, e.queue)
+	return metrics.QueueDepthMinutes(e.now, e.queue.jobs())
 }
 
 // UtilWindowAvg implements sched.MetricsView.
@@ -432,54 +508,112 @@ func (e *engine) UtilWindowAvg(w units.Duration) float64 {
 	return e.collector.UtilWindowAvg(e.now, w)
 }
 
-// fairStartOf computes the target job's fair start time: the start it
-// would get if no job arrived after it, under the current policy with
-// its current tuning, from the current machine state (Sabin et al.'s
-// definition, as used by the paper). The entire engine state is cloned;
-// the nested run fires no checkpoints, so adaptive policies stay frozen.
-func (e *engine) fairStartOf(target *job.Job) units.Time {
-	clones := make(map[*job.Job]*job.Job, len(e.queue)+len(e.running))
-	cloneOf := func(j *job.Job) *job.Job {
-		c, ok := clones[j]
-		if !ok {
-			c = j.Clone()
-			clones[j] = c
+// fairStartBatch computes the fair start time of every job in targets —
+// the batch of jobs that arrived at the current instant — and records
+// them in e.fairStarts. A job's fair start is the start it would get if
+// no job arrived after it, under the current policy with its current
+// tuning, from the current machine state (Sabin et al.'s definition, as
+// used by the paper). The nested run fires no checkpoints, so adaptive
+// policies stay frozen.
+//
+// Jobs arriving at one instant are all already queued when the oracle
+// runs, so each one's no-later-arrival world is the same simulation;
+// one deterministic nested run therefore yields every batch member's
+// fair start, bit-identical to running the oracle per job.
+//
+// The nested engine, its event heap, its queue storage, and the job
+// clones (one arena per run) are reused across batches, so a steady
+// fairness workload allocates only the machine and scheduler clones.
+func (e *engine) fairStartBatch(targets []*job.Job) {
+	sub := e.oracle
+	if sub == nil {
+		sub = &engine{
+			running: make(map[*job.Job]machine.Alloc),
+			sub:     true,
 		}
-		return c
+		e.oracle = sub
+	}
+	prev := sub.scheduler
+	sub.cfg = e.cfg
+	sub.cfg.Trace = nil // nested runs never touch the trace path
+	sub.now = e.now
+	sub.machine = e.machine.Clone()
+	sub.scheduler = e.scheduler.Clone()
+	if ad, ok := sub.scheduler.(scratchAdopter); ok && prev != nil {
+		ad.AdoptScratch(prev)
+	}
+	sub.collector = e.collector // read-only use; never written in sub runs
+	sub.events.Reset()
+	sub.queue.reset()
+	clear(sub.running)
+	sub.dirty = true
+	sub.lastDelta = false
+
+	// Clone the live jobs into the arena (the queue and running sets are
+	// disjoint). The arena is sized up front so the pointers handed to
+	// the sub-engine stay valid as it fills.
+	queued := e.queue.jobs()
+	n := len(queued) + len(e.running)
+	if cap(e.arena) < n {
+		e.arena = make([]job.Job, 0, n)
+	}
+	arena := e.arena[:0]
+
+	e.tclones = e.tclones[:0]
+	ti := 0
+	for _, j := range queued {
+		arena = append(arena, *j)
+		c := &arena[len(arena)-1]
+		sub.queue.push(c)
+		// targets is a subsequence of the queue in arrival order.
+		if ti < len(targets) && j == targets[ti] {
+			e.tclones = append(e.tclones, c)
+			ti++
+		}
+	}
+	if ti != len(targets) {
+		panic("sim: oracle targets missing from the queue")
 	}
 
-	sub := &engine{
-		cfg:       e.cfg,
-		now:       e.now,
-		machine:   e.machine.Clone(),
-		scheduler: e.scheduler.Clone(),
-		running:   make(map[*job.Job]machine.Alloc, len(e.running)),
-		collector: e.collector, // read-only use (UtilWindowAvg); never written in sub runs
-		sub:       true,
+	// Seed the running jobs' end events in ID order: the heap breaks
+	// same-instant ties by insertion sequence, so a deterministic
+	// insertion order keeps nested runs reproducible.
+	e.orderBuf = e.orderBuf[:0]
+	for j := range e.running {
+		e.orderBuf = append(e.orderBuf, j)
 	}
-	for _, j := range e.queue {
-		sub.queue = append(sub.queue, cloneOf(j))
-	}
-	for j, a := range e.running {
-		c := cloneOf(j)
-		sub.running[c] = a // machine clone preserves allocation handles
+	sort.Slice(e.orderBuf, func(i, k int) bool { return e.orderBuf[i].ID < e.orderBuf[k].ID })
+	for _, j := range e.orderBuf {
+		arena = append(arena, *j)
+		c := &arena[len(arena)-1]
+		sub.running[c] = e.running[j] // machine clone preserves allocation handles
 		effective := c.Runtime
 		if effective > c.Walltime {
 			effective = c.Walltime
 		}
 		sub.events.Push(c.Start.Add(effective), evEnd, c)
 	}
+	e.arena = arena
 
 	if e.cfg.SchedulePeriod > 0 {
 		sub.events.Push(e.now, evTick, nil)
 	}
 
-	t := cloneOf(target)
-	if err := sub.run(func() bool { return t.State != job.Queued }); err != nil {
-		return units.Forever
+	tclones := e.tclones
+	err := sub.run(func() bool {
+		for _, c := range tclones {
+			if c.State == job.Queued {
+				return false
+			}
+		}
+		return true
+	})
+	for i, t := range targets {
+		c := tclones[i]
+		if err != nil || (c.State != job.Running && c.State != job.Finished && c.State != job.Killed) {
+			e.fairStarts[t.ID] = units.Forever // should not happen: the queue always drains
+			continue
+		}
+		e.fairStarts[t.ID] = c.Start
 	}
-	if t.State != job.Running && t.State != job.Finished && t.State != job.Killed {
-		return units.Forever // should not happen: the queue always drains
-	}
-	return t.Start
 }

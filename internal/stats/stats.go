@@ -211,6 +211,77 @@ func (s *StepSeries) WindowAverage(end units.Time, width units.Duration) float64
 	return s.Integrate(start, end) / float64(end-start)
 }
 
+// Cursor remembers the breakpoint index the previous cursor-based
+// lookup resolved to, so a sequence of non-decreasing query times costs
+// amortized O(1) per lookup instead of an O(log n) binary search over
+// the whole history — the access pattern of checkpoint-driven rolling
+// windows, whose endpoints only ever move forward. The zero value is
+// ready to use; a query that jumps backwards in time falls back to a
+// binary search and re-anchors the cursor, so out-of-order use is
+// slower but never wrong. A cursor is bound to the series it was first
+// used with and is not safe for concurrent use.
+type Cursor struct {
+	i int // index of the breakpoint in effect at the last query; -1 = before the first
+}
+
+// locate returns the index of the breakpoint in effect at t (-1 when t
+// precedes the first breakpoint), advancing the cursor linearly when t
+// is at or beyond its previous position.
+func (s *StepSeries) locate(t units.Time, c *Cursor) int {
+	n := len(s.times)
+	if n == 0 {
+		c.i = -1
+		return -1
+	}
+	i := c.i
+	if i < 0 || i >= n || s.times[i] > t {
+		// First use, stale cursor, or a backwards jump: re-anchor.
+		i = sort.Search(n, func(k int) bool { return s.times[k] > t }) - 1
+	} else {
+		for i+1 < n && s.times[i+1] <= t {
+			i++
+		}
+	}
+	c.i = i
+	return i
+}
+
+// AtCursor is At with cursor acceleration.
+func (s *StepSeries) AtCursor(t units.Time, c *Cursor) float64 {
+	i := s.locate(t, c)
+	if i < 0 {
+		return 0
+	}
+	return s.vals[i]
+}
+
+// integrateToCursor is integrateTo with cursor acceleration.
+func (s *StepSeries) integrateToCursor(t units.Time, c *Cursor) float64 {
+	if t <= s.times[0] {
+		return 0
+	}
+	i := s.locate(t, c)
+	return s.cum[i] + s.vals[i]*float64(t-s.times[i])
+}
+
+// WindowAverageCursor is WindowAverage with cursor acceleration: start
+// advances the window-start cursor, end the window-end cursor. Use one
+// start cursor per window width (each width's start moves forward on
+// its own schedule) and one shared end cursor.
+func (s *StepSeries) WindowAverageCursor(end units.Time, width units.Duration, startCur, endCur *Cursor) float64 {
+	if len(s.times) == 0 || width <= 0 {
+		return 0
+	}
+	start := end.Add(-width)
+	if first := s.times[0]; start < first {
+		start = first
+	}
+	if end <= start {
+		return 0
+	}
+	return (s.integrateToCursor(end, endCur) - s.integrateToCursor(start, startCur)) / float64(end-start)
+}
+
 // Series is a sequence of (time, value) samples — the representation for
 // checkpointed monitor readings such as queue depth and the 1H/10H/24H
 // utilization lines.

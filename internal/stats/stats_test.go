@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -180,6 +181,43 @@ func TestStepSeriesIntegralAdditive(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCursorMatchesBruteForce cross-checks every cursor-accelerated
+// lookup against its plain binary-search counterpart over randomized
+// series and query sequences. Queries are mostly non-decreasing (the
+// rolling-window access pattern the cursor optimizes for) with
+// interleaved backwards jumps, which must re-anchor the cursor and
+// still answer exactly.
+func TestCursorMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var s StepSeries
+		tt := units.Time(0)
+		for i, n := 0, rng.Intn(40); i < n; i++ {
+			tt = tt.Add(units.Duration(rng.Intn(500))) // duplicates allowed: overwrite path
+			s.Set(tt, float64(rng.Intn(100)))
+		}
+		var atCur, startCur, endCur Cursor
+		q := units.Time(rng.Intn(200))
+		for step := 0; step < 200; step++ {
+			if rng.Intn(8) == 0 {
+				q = units.Time(rng.Intn(int(tt) + 400)) // out-of-order jump
+			} else {
+				q = q.Add(units.Duration(rng.Intn(300)))
+			}
+			if got, want := s.AtCursor(q, &atCur), s.At(q); got != want {
+				t.Fatalf("trial %d: AtCursor(%v) = %v, brute force %v", trial, q, got, want)
+			}
+			width := units.Duration(1 + rng.Intn(1000))
+			got := s.WindowAverageCursor(q, width, &startCur, &endCur)
+			want := s.WindowAverage(q, width)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: WindowAverageCursor(%v, %v) = %v, brute force %v",
+					trial, q, width, got, want)
+			}
+		}
 	}
 }
 

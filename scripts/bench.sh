@@ -1,17 +1,25 @@
 #!/bin/sh
-# Runs the window-search benchmarks and writes a machine-readable
-# summary to BENCH_<n>.json (default BENCH_1.json) so perf changes are
-# tracked in-repo.
+# Runs the scheduling benchmarks and writes a machine-readable summary
+# to BENCH_<n>.json (default BENCH_2.json) so perf changes are tracked
+# in-repo. The default set covers the window-search micro-benchmarks
+# and the end-to-end simulation benchmark (BenchmarkSimEndToEnd).
+#
+# The emitted file also carries a "baseline" section: the
+# BenchmarkSimEndToEnd numbers measured at the last commit before the
+# engine-performance PR (pass elision, incremental queue, pruned
+# fairness oracle, cursor-backed metric windows), so the end-to-end
+# speedup is auditable from the artifact alone.
 #
 # Usage: scripts/bench.sh [output.json] [bench regex]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_1.json}
-pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit'}
+out=${1:-BENCH_2.json}
+pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd'}
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+body=$(mktemp)
+trap 'rm -f "$raw" "$body"' EXIT
 
 echo "bench.sh: running go test -bench '$pattern' ..." >&2
 go test -run '^$' -bench "$pattern" -benchmem -count 1 . | tee "$raw" >&2
@@ -19,32 +27,49 @@ go test -run '^$' -bench "$pattern" -benchmem -count 1 . | tee "$raw" >&2
 goversion=$(go env GOVERSION)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-awk -v goversion="$goversion" -v stamp="$stamp" '
+awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     iters = $2
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; jobs = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "jobs/s")    jobs = $i
     }
     line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (jobs != "")   line = line sprintf(", \"jobs_per_sec\": %s", jobs)
     if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
     line = line "}"
     benches[++n] = line
 }
 END {
-    printf "{\n"
-    printf "  \"date\": \"%s\",\n", stamp
-    printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++)
         printf "%s%s\n", benches[i], (i < n ? "," : "")
-    printf "  ]\n}\n"
 }
-' "$raw" >"$out"
+' "$raw" >"$body"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$stamp"
+	printf '  "go": "%s",\n' "$goversion"
+	cat <<'EOF'
+  "baseline": {
+    "note": "BenchmarkSimEndToEnd before the engine-performance work (commit 7e26e14), same machine class",
+    "benchmarks": [
+      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 8410071, "jobs_per_sec": 30321, "bytes_per_op": 1483857, "allocs_per_op": 25633},
+      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 40668667, "jobs_per_sec": 6270, "bytes_per_op": 6668208, "allocs_per_op": 106329},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 212707283, "jobs_per_sec": 1199, "bytes_per_op": 61223651, "allocs_per_op": 1171504},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 2072497783, "jobs_per_sec": 123.0, "bytes_per_op": 492637240, "allocs_per_op": 10693755}
+    ]
+  },
+EOF
+	printf '  "benchmarks": [\n'
+	cat "$body"
+	printf '  ]\n}\n'
+} >"$out"
 
 echo "bench.sh: wrote $out" >&2
