@@ -10,8 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
+# race exercises the concurrent paths (the branch-parallel window
+# search and the engines driving it) under the race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/core ./internal/sim ./internal/parallel
 
 vet:
 	$(GO) vet ./...
@@ -19,13 +21,14 @@ vet:
 # A one-iteration pass over the scheduling benchmarks: catches bench
 # bit-rot without the minutes-long measured run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale' -benchtime 1x .
 
-# verify is the pre-merge gate: vet, build, the full suite under the
-# race detector, and a benchmark smoke test. The benchmark comparison
-# runs too, but non-fatally: measured numbers vary with the machine, so
-# a regression there warns without blocking the gate.
-verify: vet build race bench-smoke
+# verify is the pre-merge gate: vet, build, the full suite, the
+# concurrent packages under the race detector, and a benchmark smoke
+# test. The benchmark comparison runs too, but non-fatally: measured
+# numbers vary with the machine, so a regression there warns without
+# blocking the gate.
+verify: vet build test race bench-smoke
 	-$(MAKE) bench-compare
 
 # bench runs the measured scheduling benchmarks (window-search micro
@@ -38,7 +41,7 @@ bench:
 # previous PR's and fails if anything shared regressed by more than
 # 20% ns/op (see cmd/benchcompare).
 bench-compare:
-	$(GO) run ./cmd/benchcompare BENCH_1.json BENCH_2.json
+	$(GO) run ./cmd/benchcompare BENCH_2.json BENCH_3.json
 
 clean:
 	rm -f amjs.test cpu.prof mem.prof

@@ -224,6 +224,24 @@ var (
 // Run simulates the workload under the configuration.
 func Run(cfg SimConfig, jobs []*Job) (*Result, error) { return sim.Run(cfg, jobs) }
 
+// TraceSource delivers a trace one job at a time in nondecreasing
+// submit order (io.EOF at the end). Sources come from NewSWFSource,
+// WorkloadConfig.Stream, or SliceSource.
+type TraceSource = workload.Source
+
+// SliceSource adapts a materialized, submit-ordered trace to TraceSource.
+func SliceSource(jobs []*Job) TraceSource { return workload.SliceSource(jobs) }
+
+// CollectTrace drains a source into a slice.
+func CollectTrace(src TraceSource) ([]*Job, error) { return workload.Collect(src) }
+
+// RunStream simulates a streamed workload: identical schedules to Run,
+// O(live jobs) memory when a completion sink is supplied. See
+// sim.RunStream.
+func RunStream(cfg SimConfig, src TraceSource, sink func(*Job)) (*Result, error) {
+	return sim.RunStream(cfg, src, sink)
+}
+
 // WorkloadConfig specifies a synthetic workload.
 type WorkloadConfig = workload.Config
 
@@ -246,6 +264,14 @@ func ReadSWF(r io.Reader, opt SWFOptions) (jobs []*Job, skipped int, err error) 
 // WriteSWF renders jobs as an SWF trace.
 func WriteSWF(w io.Writer, jobs []*Job, header string) error {
 	return workload.WriteSWF(w, jobs, header)
+}
+
+// NewSWFSource streams an SWF trace without materializing it; records
+// out of submit order by less than slack (0 = a default hour) are
+// re-sorted in a bounded buffer. Pair with RunStream for year-long
+// replays in constant memory.
+func NewSWFSource(r io.Reader, opt SWFOptions, slack Duration) TraceSource {
+	return workload.NewSWFSource(r, opt, slack)
 }
 
 // SWFOptions control SWF parsing.

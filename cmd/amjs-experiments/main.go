@@ -71,6 +71,7 @@ func main() {
 		"table3":    experiments.Table3,
 		"extras":    experiments.Extras,
 		"multiseed": experiments.MultiSeed,
+		"scaling":   experiments.Scaling,
 	}
 	names := flag.Args()
 	if len(names) == 0 {
@@ -79,7 +80,7 @@ func main() {
 	for _, name := range names {
 		run, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, multiseed)\n", name)
+			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, multiseed, scaling)\n", name)
 			exit(2)
 		}
 		if err := run(opt); err != nil {

@@ -8,6 +8,10 @@
 // When the new artifact embeds a "baseline" section (pre-change
 // end-to-end numbers), the speedup against it is reported as well;
 // that comparison is informational and never fails the run.
+//
+// When both artifacts carry an "env" section (GOMAXPROCS, search
+// worker count, CPU model), any mismatch is reported as a warning —
+// not a failure — since cross-machine ns/op comparisons are noise.
 package main
 
 import (
@@ -23,14 +27,47 @@ type bench struct {
 	JobsPerSec float64 `json:"jobs_per_sec"`
 }
 
+type env struct {
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	SearchWorkers int    `json:"search_workers"`
+	CPU           string `json:"cpu"`
+}
+
 type artifact struct {
 	Date       string  `json:"date"`
 	Go         string  `json:"go"`
+	Env        *env    `json:"env"`
 	Benchmarks []bench `json:"benchmarks"`
 	Baseline   *struct {
 		Note       string  `json:"note"`
 		Benchmarks []bench `json:"benchmarks"`
 	} `json:"baseline"`
+}
+
+// warnEnvMismatch flags measurement-environment differences between the
+// two artifacts. Informational only: a changed machine makes the ns/op
+// comparison unreliable, but that is a reason to re-measure, not to
+// fail the build.
+func warnEnvMismatch(oldArt, newArt *artifact) {
+	if oldArt.Env == nil || newArt.Env == nil {
+		if newArt.Env != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare: warning: old artifact has no env section; cross-machine comparison unverified")
+		}
+		return
+	}
+	o, n := oldArt.Env, newArt.Env
+	if o.GoMaxProcs != n.GoMaxProcs {
+		fmt.Fprintf(os.Stderr, "benchcompare: warning: GOMAXPROCS differs (%d vs %d); ns/op comparison may be noise\n",
+			o.GoMaxProcs, n.GoMaxProcs)
+	}
+	if o.SearchWorkers != n.SearchWorkers {
+		fmt.Fprintf(os.Stderr, "benchcompare: warning: search worker count differs (%d vs %d)\n",
+			o.SearchWorkers, n.SearchWorkers)
+	}
+	if o.CPU != n.CPU {
+		fmt.Fprintf(os.Stderr, "benchcompare: warning: CPU model differs (%q vs %q); ns/op comparison may be noise\n",
+			o.CPU, n.CPU)
+	}
 }
 
 func load(path string) (*artifact, error) {
@@ -71,6 +108,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(2)
 	}
+
+	warnEnvMismatch(oldArt, newArt)
 
 	oldBy := byName(oldArt.Benchmarks)
 	shared, regressions := 0, 0

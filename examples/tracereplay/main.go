@@ -5,6 +5,11 @@
 // replay a real SWF trace from the Parallel Workloads Archive:
 //
 //	tracereplay [trace.swf [machine-nodes]]
+//
+// A file is replayed through the streaming engine (amjs.NewSWFSource +
+// amjs.RunStream): jobs are parsed, simulated, and discarded on the
+// fly, so memory stays proportional to the jobs in flight — a
+// year-long archive trace replays in a few megabytes.
 package main
 
 import (
@@ -18,21 +23,13 @@ import (
 )
 
 func main() {
-	var (
-		src   = strings.NewReader(amjs.SampleSWF)
-		name  = "embedded sample"
-		nodes = 512
-	)
 	if len(os.Args) > 1 {
 		f, err := os.Open(os.Args[1])
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		jobs, skipped, err := amjs.ReadSWF(f, amjs.SWFOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
+		nodes := 512
 		if len(os.Args) > 2 {
 			n, err := strconv.Atoi(os.Args[2])
 			if err != nil {
@@ -40,31 +37,65 @@ func main() {
 			}
 			nodes = n
 		}
-		fmt.Printf("trace: %s (%d jobs, %d skipped)\n", os.Args[1], len(jobs), skipped)
-		replay(jobs, nodes)
+		streamReplay(f, os.Args[1], nodes)
 		return
 	}
 
-	jobs, _, err := amjs.ReadSWF(src, amjs.SWFOptions{})
+	jobs, _, err := amjs.ReadSWF(strings.NewReader(amjs.SampleSWF), amjs.SWFOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trace: %s (%d jobs)\n", name, len(jobs))
-	replay(jobs, nodes)
+	fmt.Printf("trace: embedded sample (%d jobs)\n", len(jobs))
+	replay(jobs, 512)
+}
+
+// scheduler builds the two-dimensional adaptive policy both paths use.
+func scheduler() amjs.Scheduler {
+	return amjs.NewTuner(amjs.BFScheme(1000), amjs.WScheme())
+}
+
+// partitioned returns a partitioned machine of the requested size,
+// keeping 64-node midplanes.
+func partitioned(nodes int) amjs.Machine {
+	midplanes := nodes / 64
+	if midplanes < 1 {
+		midplanes = 1
+	}
+	return amjs.NewPartitionMachine(midplanes, 64)
+}
+
+// streamReplay runs a trace through the streaming engine: constant
+// memory, aggregate metrics only.
+func streamReplay(f *os.File, name string, nodes int) {
+	done := 0
+	res, err := amjs.RunStream(amjs.SimConfig{
+		Machine:   partitioned(nodes),
+		Scheduler: scheduler(),
+	}, amjs.NewSWFSource(f, amjs.SWFOptions{}, 0), func(j *amjs.Job) {
+		done++
+		if done%25000 == 0 {
+			fmt.Fprintf(os.Stderr, "... %d jobs completed\n", done)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("trace:     %s (%d jobs, %d rejected)\n", name, res.AcceptedCount, res.RejectedCount)
+	fmt.Printf("policy:    %s\n", res.Policy)
+	fmt.Printf("avg wait:  %.1f min   max wait: %.1f min\n", m.AvgWaitMinutes(), m.MaxWaitMinutes())
+	fmt.Printf("LoC:       %.2f%%   utilization: %.1f%%\n", m.LoC()*100, m.UtilAvg()*100)
+	fmt.Printf("makespan:  %.1f h\n", res.Makespan.HoursF())
 }
 
 func replay(jobs []*amjs.Job, nodes int) {
 	stats := amjs.AnalyzeWorkload(jobs, nodes)
 	fmt.Printf("\n%s\n", stats)
 
-	// A partitioned machine of the right size: keep 64-node midplanes.
-	midplanes := nodes / 64
-	if midplanes < 1 {
-		midplanes = 1
-	}
 	res, err := amjs.Run(amjs.SimConfig{
-		Machine:   amjs.NewPartitionMachine(midplanes, 64),
-		Scheduler: amjs.NewTuner(amjs.BFScheme(1000), amjs.WScheme()),
+		Machine:   partitioned(nodes),
+		Scheduler: scheduler(),
 		Fairness:  len(jobs) <= 2000, // the oracle is costly on big traces
 	}, jobs)
 	if err != nil {

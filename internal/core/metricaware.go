@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"amjs/internal/job"
 	"amjs/internal/machine"
+	"amjs/internal/parallel"
 	"amjs/internal/sched"
 	"amjs/internal/units"
 )
@@ -68,6 +70,14 @@ type MetricAware struct {
 	// ablation bench).
 	PermOrderReservation bool
 
+	// SearchWorkers shards the branch-and-bound window search across a
+	// worker pool: each first-position choice becomes one task exploring
+	// its subtree on a private plan clone. 0 or 1 keeps the search
+	// serial; negative means one worker per CPU. Every setting returns
+	// the identical winning permutation (see bestPermutationParallel),
+	// so it is purely a throughput knob.
+	SearchWorkers int
+
 	// reservedID is the job currently holding the protected reservation
 	// (0 = none). Protection persists across scheduling passes: once a
 	// blocked job is granted the reservation it is re-committed at the
@@ -83,14 +93,17 @@ type MetricAware struct {
 	// nameOverride replaces the default Name when non-empty.
 	nameOverride string
 
-	// search and prio are the reusable scratch state of the
+	// search, prio, and branches are the reusable scratch state of the
 	// branch-and-bound window search and the priority scoring pass —
 	// buffers only, not configuration. Clone drops them so two scheduler
 	// instances never share scratch (the parallel experiment runner runs
 	// clones concurrently); AdoptScratch transplants them from a retired
-	// clone instead.
-	search *permSearch
-	prio   *prioScratch
+	// clone instead. branches holds one private search state per
+	// first-position choice of the parallel search.
+	search    *permSearch
+	prio      *prioScratch
+	branches  []*permSearch
+	branchRes []branchResult
 }
 
 // NewMetricAware returns a metric-aware scheduler with the given balance
@@ -123,6 +136,8 @@ func (s *MetricAware) Clone() sched.Scheduler {
 	c := *s
 	c.search = nil
 	c.prio = nil
+	c.branches = nil
+	c.branchRes = nil
 	return &c
 }
 
@@ -140,6 +155,10 @@ func (s *MetricAware) AdoptScratch(from sched.Scheduler) {
 	}
 	if s.prio == nil {
 		s.prio, f.prio = f.prio, nil
+	}
+	if s.branches == nil {
+		s.branches, f.branches = f.branches, nil
+		s.branchRes, f.branchRes = f.branchRes, nil
 	}
 }
 
@@ -238,7 +257,7 @@ func (s *MetricAware) Schedule(env sched.Env) {
 		}
 		window := sorted[pos:end]
 
-		startable := windowStartableNow(env, plan, window, now)
+		startable := windowStartableNow(env, plan, window)
 		if reserved && !s.Conservative && startable == 0 {
 			// Backfill regime: without reservations to place, a window
 			// in which nothing fits now cannot contribute.
@@ -330,14 +349,14 @@ func (s *MetricAware) Schedule(env sched.Env) {
 // so a request exceeding the idle count is rejected before the (much
 // more expensive) plan probe; when the machine is saturated every job
 // short-circuits and the window costs a handful of integer compares.
-func windowStartableNow(env sched.Env, plan machine.Plan, window []*job.Job, now units.Time) int {
+func windowStartableNow(env sched.Env, plan machine.Plan, window []*job.Job) int {
 	idle := env.Machine().IdleNodes()
 	n := 0
 	for _, j := range window {
 		if j.Nodes > idle {
 			continue
 		}
-		if ts, _ := plan.EarliestStart(j.Nodes, j.Walltime); ts == now {
+		if _, ok := plan.StartableNow(j.Nodes, j.Walltime); ok {
 			if n++; n == 2 {
 				break
 			}
@@ -402,10 +421,102 @@ func (s *MetricAware) bestPermutation(plan machine.Plan, window []*job.Job, now 
 		return identity
 	}
 
+	if workers := parallel.Workers(s.SearchWorkers); s.SearchWorkers != 0 && workers > 1 && n >= 3 {
+		return s.bestPermutationParallel(plan, window, now, workers)
+	}
+
 	ps.begin(plan, window, now, s.UtilizationFirst)
 	ps.dfs(0, now, 0)
 	ps.plan, ps.window = nil, nil // do not retain the pass's plan
 	return ps.best
+}
+
+// searchBound is the cross-worker incumbent of the parallel window
+// search: the best (span, nodes) score any branch has completed so far.
+type searchBound struct {
+	span  units.Time
+	nodes int
+}
+
+// branchResult is one first-position branch's outcome: the best
+// completion found in its subtree (perm aliases the branch's scratch,
+// valid until its next search).
+type branchResult struct {
+	have  bool
+	span  units.Time
+	nodes int
+	perm  []int
+}
+
+// bestPermutationParallel is bestPermutation with the first-position
+// choices of the search tree fanned out across the worker pool. Each
+// branch explores its subtree exactly as the serial DFS would — private
+// plan clone, private scratch, local incumbent seeded empty — so within
+// a branch the lex-earliest best completion survives. Branches share
+// one atomic incumbent used only to cut subtrees that cannot even tie
+// it (sharedWorse): a subtree containing a globally optimal completion
+// is never cut, no matter how worker scheduling interleaves the bound
+// updates. The merge walks the branches in first-position order keeping
+// strict improvements only, which is precisely the serial DFS's
+// update rule at depth 0 — so the returned permutation is byte-
+// identical to the serial search's for every worker count (pinned by
+// TestParallelSearchDeterministic).
+func (s *MetricAware) bestPermutationParallel(plan machine.Plan, window []*job.Job, now units.Time, workers int) []int {
+	n := len(window)
+	for len(s.branches) < n {
+		s.branches = append(s.branches, &permSearch{})
+	}
+	if cap(s.branchRes) < n {
+		s.branchRes = make([]branchResult, n)
+	}
+	results := s.branchRes[:n]
+	var shared atomic.Pointer[searchBound]
+	parallel.ForEach(n, workers, func(c int) error {
+		bs := s.branches[c]
+		clone := plan.Clone()
+		bs.identity(n) // size the incumbent buffer
+		bs.begin(clone, window, now, s.UtilizationFirst)
+		bs.shared = &shared
+		bs.perm[0] = c
+		bs.used[c] = true
+		j := window[c]
+		span, nodes := now, 0
+		ts, hint := clone.EarliestStart(j.Nodes, j.Walltime)
+		if ts != units.Forever {
+			if end := ts.Add(j.Walltime); end > span {
+				span = end
+			}
+			if ts == now {
+				nodes = j.Nodes
+			}
+			clone.Commit(j.Nodes, ts, j.Walltime, hint)
+		}
+		bs.dfs(1, span, nodes)
+		bs.plan, bs.window, bs.shared = nil, nil, nil
+		results[c] = branchResult{have: bs.haveBest, span: bs.bestSpan, nodes: bs.bestNodes, perm: bs.best}
+		return nil
+	})
+
+	out := s.search.identity(n)
+	adopted := false
+	var bestSpan units.Time
+	var bestNodes int
+	for c := 0; c < n; c++ {
+		r := results[c]
+		if !r.have {
+			continue
+		}
+		better := r.span < bestSpan || (r.span == bestSpan && r.nodes > bestNodes)
+		if s.UtilizationFirst {
+			better = r.nodes > bestNodes || (r.nodes == bestNodes && r.span < bestSpan)
+		}
+		if !adopted || better {
+			adopted = true
+			bestSpan, bestNodes = r.span, r.nodes
+			copy(out, r.perm)
+		}
+	}
+	return out
 }
 
 // permSearch is the branch-and-bound state of one window search. It
@@ -426,7 +537,48 @@ type permSearch struct {
 	bestNodes int
 	haveBest  bool
 
+	// shared, when non-nil, is the parallel search's cross-branch
+	// incumbent. It may only cut subtrees that cannot tie-or-beat it
+	// (sharedWorse) — a strictly weaker cut than the local incumbent's —
+	// so the lex-earliest optimum always survives in its branch.
+	shared *atomic.Pointer[searchBound]
+
 	memo [][]probeEntry // per-depth sibling probe memo
+}
+
+// sharedWorse reports whether a subtree whose best conceivable
+// completion is (spanLB, maxNodes) is strictly worse than the shared
+// incumbent — it cannot even tie it, so no branch's lex order is
+// disturbed by the cut.
+func (ps *permSearch) sharedWorse(spanLB units.Time, maxNodes int) bool {
+	sh := ps.shared.Load()
+	if sh == nil {
+		return false
+	}
+	if ps.utilFirst {
+		return maxNodes < sh.nodes || (maxNodes == sh.nodes && spanLB > sh.span)
+	}
+	return spanLB > sh.span || (spanLB == sh.span && maxNodes < sh.nodes)
+}
+
+// publish folds a completed schedule's score into the shared incumbent
+// if it strictly improves it.
+func (ps *permSearch) publish(span units.Time, nodes int) {
+	for {
+		cur := ps.shared.Load()
+		if cur != nil {
+			better := span < cur.span || (span == cur.span && nodes > cur.nodes)
+			if ps.utilFirst {
+				better = nodes > cur.nodes || (nodes == cur.nodes && span < cur.span)
+			}
+			if !better {
+				return
+			}
+		}
+		if ps.shared.CompareAndSwap(cur, &searchBound{span: span, nodes: nodes}) {
+			return
+		}
+	}
 }
 
 // probeEntry caches one EarliestStart answer at a search-tree node:
@@ -554,6 +706,9 @@ func (ps *permSearch) dfs(depth int, span units.Time, nodesNow int) {
 	if ps.haveBest && ps.pruned(maxEnd, nodesNow, nowSum) {
 		return
 	}
+	if ps.shared != nil && ps.sharedWorse(maxEnd, nodesNow+nowSum) {
+		return
+	}
 	last := depth == ps.n-1
 	for c := 0; c < ps.n; c++ {
 		if ps.used[c] {
@@ -579,6 +734,9 @@ func (ps *permSearch) dfs(depth int, span units.Time, nodesNow int) {
 				ps.haveBest = true
 				ps.bestSpan, ps.bestNodes = childSpan, childNodes
 				copy(ps.best, ps.perm)
+				if ps.shared != nil {
+					ps.publish(childSpan, childNodes)
+				}
 			}
 			continue
 		}
@@ -590,6 +748,9 @@ func (ps *permSearch) dfs(depth int, span units.Time, nodesNow int) {
 			childLB = maxEnd
 		}
 		if ps.haveBest && ps.pruned(childLB, childNodes, childNowSum) {
+			continue
+		}
+		if ps.shared != nil && ps.sharedWorse(childLB, childNodes+childNowSum) {
 			continue
 		}
 		ps.used[c] = true

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// oracleWideWindow builds a randomized window of n jobs (the parallel
+// search shards on the first position, so deeper windows than the
+// 2..5-job oracle mix exercise more branches per search).
+func oracleWideWindow(r *rand.Rand, n int) []*job.Job {
+	window := make([]*job.Job, n)
+	for i := range window {
+		nodes := 1 + r.Intn(220)
+		if r.Intn(20) == 0 {
+			nodes = 10_000 // oversized: EarliestStart returns Forever
+		}
+		window[i] = &job.Job{
+			ID:       i + 1,
+			User:     "u",
+			Nodes:    nodes,
+			Walltime: units.Duration(10 + r.Intn(3000)),
+			Runtime:  units.Duration(5 + r.Intn(2000)),
+			State:    job.Queued,
+		}
+	}
+	return window
+}
+
+// The branch-parallel window search must return the byte-identical
+// winning permutation for every worker count — the shared bound only
+// cuts subtrees that cannot even tie it, and the branch merge replays
+// the serial depth-0 update order — on randomized machine states,
+// window widths up to the search cap, and both objective modes.
+func TestParallelSearchDeterministic(t *testing.T) {
+	const rounds = 600
+	for _, utilFirst := range []bool{false, true} {
+		serial := NewMetricAware(0.5, maxPermWindow)
+		serial.UtilizationFirst = utilFirst
+		r := rand.New(rand.NewSource(23))
+		for i := 0; i < rounds; i++ {
+			m := oracleMachine(r)
+			window := oracleWideWindow(r, 3+r.Intn(maxPermWindow-2))
+			now := units.Time(r.Intn(40))
+			plan := m.Plan(now)
+			want := append([]int(nil), serial.bestPermutation(plan, window, now)...)
+
+			for _, workers := range []int{2, 8} {
+				par := NewMetricAware(0.5, maxPermWindow)
+				par.UtilizationFirst = utilFirst
+				par.SearchWorkers = workers
+				got := par.bestPermutation(m.Plan(now), window, now)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("utilFirst=%v round %d workers=%d on %s: parallel picked %v, serial %v (window %v)",
+						utilFirst, i, workers, m.Name(), got, want, describeWindow(window))
+				}
+			}
+		}
+	}
+}
+
+// The parallel search must also agree with the seed's exhaustive
+// next-permutation loop directly, not just with the serial search.
+func TestParallelSearchMatchesExhaustiveOracle(t *testing.T) {
+	const rounds = 400
+	r := rand.New(rand.NewSource(51))
+	s := NewMetricAware(0.5, maxPermWindow)
+	s.SearchWorkers = -1 // one worker per CPU
+	for i := 0; i < rounds; i++ {
+		m := oracleMachine(r)
+		window := oracleWideWindow(r, 3+r.Intn(3))
+		now := units.Time(r.Intn(40))
+		plan := m.Plan(now)
+		want := exhaustiveBestPermutation(plan, window, now, false)
+		got := s.bestPermutation(plan, window, now)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d on %s: parallel picked %v, oracle %v (window %v)",
+				i, m.Name(), got, want, describeWindow(window))
+		}
+	}
+}

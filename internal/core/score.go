@@ -4,7 +4,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"amjs/internal/job"
 	"amjs/internal/units"
@@ -59,8 +59,15 @@ func Prioritize(now units.Time, queue []*job.Job, bf float64) []*job.Job {
 // evaluation needs thousands of simulations, each running this on every
 // pass of every nested fairness simulation.
 type prioScratch struct {
-	jobs   []*job.Job
-	scores []float64
+	jobs    []*job.Job
+	entries []prioEntry
+}
+
+// prioEntry pairs a job with its balanced priority so the sort moves
+// one small struct instead of two parallel arrays through an interface.
+type prioEntry struct {
+	score float64
+	j     *job.Job
 }
 
 // prioritize scores queue into the scratch buffers and sorts them by
@@ -85,38 +92,34 @@ func (p *prioScratch) prioritize(now units.Time, queue []*job.Job, bf float64) [
 			wallMax = j.Walltime
 		}
 	}
-	p.jobs = append(p.jobs[:0], queue...)
-	if cap(p.scores) < len(queue) {
-		p.scores = make([]float64, len(queue))
+	if cap(p.entries) < len(queue) {
+		p.entries = make([]prioEntry, 0, len(queue))
 	}
-	p.scores = p.scores[:len(queue)]
-	for i, j := range queue {
+	p.entries = p.entries[:0]
+	for _, j := range queue {
 		sw := ScoreWait(j.WaitAt(now), waitMax)
 		sr := ScoreRuntime(j.Walltime, wallMin, wallMax)
-		p.scores[i] = BalancedPriority(sw, sr, bf)
+		p.entries = append(p.entries, prioEntry{BalancedPriority(sw, sr, bf), j})
 	}
-	sort.Sort(p)
+	slices.SortFunc(p.entries, func(a, b prioEntry) int {
+		switch {
+		case a.score != b.score:
+			if a.score > b.score {
+				return -1
+			}
+			return 1
+		case a.j.Submit != b.j.Submit:
+			if a.j.Submit < b.j.Submit {
+				return -1
+			}
+			return 1
+		default:
+			return a.j.ID - b.j.ID
+		}
+	})
+	p.jobs = p.jobs[:0]
+	for _, e := range p.entries {
+		p.jobs = append(p.jobs, e.j)
+	}
 	return p.jobs
-}
-
-// Len implements sort.Interface over the parallel (jobs, scores) pair.
-func (p *prioScratch) Len() int { return len(p.jobs) }
-
-// Swap implements sort.Interface.
-func (p *prioScratch) Swap(i, j int) {
-	p.jobs[i], p.jobs[j] = p.jobs[j], p.jobs[i]
-	p.scores[i], p.scores[j] = p.scores[j], p.scores[i]
-}
-
-// Less implements sort.Interface: balanced priority descending, ties by
-// (submit, ID) ascending.
-func (p *prioScratch) Less(i, j int) bool {
-	if p.scores[i] != p.scores[j] {
-		return p.scores[i] > p.scores[j]
-	}
-	a, b := p.jobs[i], p.jobs[j]
-	if a.Submit != b.Submit {
-		return a.Submit < b.Submit
-	}
-	return a.ID < b.ID
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"amjs/internal/core"
+	"amjs/internal/job"
+	"amjs/internal/results"
+	"amjs/internal/sim"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// Scaling replays a long trace through the streaming engine and pins
+// the scaling story: sim.RunStream over a workload.Source produces the
+// same aggregate metrics as the batch engine on the materialized trace,
+// while holding only the jobs in flight. At -scale paper the trace is
+// the year-long 50k-job Intrepid workload; quick and test shrink it.
+// Not part of All: it demonstrates engine scaling, not a paper figure.
+func Scaling(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	var cfg workload.Config
+	switch opt.Scale {
+	case ScalePaper, "":
+		cfg = workload.IntrepidYear(seed)
+	case ScaleQuick:
+		cfg = workload.Intrepid(seed)
+		cfg.MaxJobs = 10_000
+		cfg.Horizon = 365 * units.Day
+	default:
+		cfg = pf.config
+	}
+
+	sched := func() *core.MetricAware { return core.NewMetricAware(0.5, 5) }
+
+	jobs, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	batch, err := sim.Run(sim.Config{Machine: pf.machine(), Scheduler: sched()}, jobs)
+	if err != nil {
+		return err
+	}
+	opt.log("scaling: batch run done (%d jobs)", batch.AcceptedCount)
+
+	src, err := cfg.Stream()
+	if err != nil {
+		return err
+	}
+	delivered := 0
+	stream, err := sim.RunStream(sim.Config{Machine: pf.machine(), Scheduler: sched()},
+		src, func(*job.Job) { delivered++ })
+	if err != nil {
+		return err
+	}
+	opt.log("scaling: streaming run done (%d jobs delivered)", delivered)
+
+	if delivered != batch.AcceptedCount {
+		return fmt.Errorf("scaling: streamed %d completions, batch accepted %d", delivered, batch.AcceptedCount)
+	}
+
+	tb := results.NewTable(fmt.Sprintf("Scaling: batch vs streaming replay (%s, %d jobs)",
+		cfg.Name, batch.AcceptedCount),
+		"engine", "jobs", "avg wait (min)", "max wait (min)", "util (%)", "makespan (h)")
+	row := func(name string, r *sim.Result) {
+		m := r.Metrics
+		tb.Addf(name, r.AcceptedCount, m.AvgWaitMinutes(), m.MaxWaitMinutes(),
+			m.UtilAvg()*100, r.Makespan.HoursF())
+	}
+	row("batch", batch)
+	row("streaming", stream)
+
+	out := opt.out()
+	tb.Render(out)
+	fmt.Fprintln(out)
+	return opt.writeFile("scaling.csv", func(w io.Writer) error { return tb.WriteCSV(w) })
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScaling(t *testing.T) {
+	opt, dir := testOpts(t)
+	var buf bytes.Buffer
+	opt.Out = &buf
+	if err := Scaling(opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "batch vs streaming") {
+		t.Error("scaling output missing the comparison table")
+	}
+	rows := readCSV(t, filepath.Join(dir, "scaling.csv"))
+	if len(rows) != 3 { // header + batch + streaming
+		t.Fatalf("scaling rows = %d", len(rows))
+	}
+	// The streaming engine must reproduce the batch aggregates exactly
+	// (the table is rendered from the same formatting, so string
+	// equality is the right check).
+	for col := 1; col < len(rows[1]); col++ {
+		if rows[1][col] != rows[2][col] {
+			t.Errorf("column %q differs: batch %q, streaming %q",
+				rows[0][col], rows[1][col], rows[2][col])
+		}
+	}
+}

@@ -186,6 +186,22 @@ func (p *flatPlan) Restore(m PlanMark) {
 	p.saves = p.saves[:m+1] // the mark stays restorable; later marks die
 }
 
+// StartableNow implements Plan: on a flat machine the answer needs only
+// the profile segments inside [now, now+walltime), screened by the
+// availability at now.
+func (p *flatPlan) StartableNow(nodes int, walltime units.Duration) (int, bool) {
+	if nodes <= 0 || walltime <= 0 {
+		return 0, true // as EarliestStart: degenerate requests start now
+	}
+	if p.avail[0] < nodes {
+		return -1, false
+	}
+	if p.feasible(nodes, p.now, walltime) {
+		return 0, true
+	}
+	return -1, false
+}
+
 // EarliestStart implements Plan.
 func (p *flatPlan) EarliestStart(nodes int, walltime units.Duration) (units.Time, int) {
 	if nodes <= 0 || walltime <= 0 {

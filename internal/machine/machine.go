@@ -22,6 +22,8 @@
 package machine
 
 import (
+	"math/bits"
+
 	"amjs/internal/units"
 )
 
@@ -102,6 +104,14 @@ type Plan interface {
 	// returns (units.Forever, -1).
 	EarliestStart(nodes int, walltime units.Duration) (units.Time, int)
 
+	// StartableNow answers exactly whether EarliestStart would return
+	// Now(), with the identical hint when it would. It exists because
+	// the answer is often decidable from the machine's occupancy alone
+	// — without walking the full availability profile — and backfill
+	// screens ("does anything in this window fit right now?") are the
+	// hottest probe in a scheduling pass.
+	StartableNow(nodes int, walltime units.Duration) (int, bool)
+
 	// Commit reserves the placement returned by EarliestStart. Both the
 	// start and the hint must come from EarliestStart with the same
 	// size and walltime; committing an infeasible placement panics.
@@ -133,18 +143,10 @@ type PlanMark int
 
 // nextPow2 returns the smallest power of two >= n (n >= 1).
 func nextPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
-	}
-	return p
+	return 1 << uint(bits.Len(uint(n-1)))
 }
 
 // prevPow2 returns the largest power of two <= n (n >= 1).
 func prevPow2(n int) int {
-	p := 1
-	for p<<1 <= n {
-		p <<= 1
-	}
-	return p
+	return 1 << uint(bits.Len(uint(n))-1)
 }

@@ -2,7 +2,7 @@ package machine
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"amjs/internal/units"
 )
@@ -17,15 +17,24 @@ import (
 // Alignment and contiguity are what make external fragmentation
 // possible: idle midplanes that do not form an aligned block cannot
 // serve a larger request even when their total count would suffice.
+//
+// Occupancy is a uint64 bitset (bit i = midplane i busy), so block
+// probes are word-parallel mask tests and idle accounting is a cached
+// popcount. Alongside the bits the machine maintains relEnd, the
+// walltime-based release estimate per busy midplane — the availability
+// index Plan snapshots instead of walking the allocation table.
 type Partition struct {
 	midplanes int // number of midplanes
 	perMP     int // nodes per midplane
 	maxPow2   int // largest power-of-two block size <= midplanes
 
-	nextID Alloc
-	busy   []bool // per-midplane occupancy
-	allocs map[Alloc]partAlloc
-	used   int // sum of requested node counts of running jobs
+	nextID   Alloc
+	bits     []uint64     // occupancy bitset; bit i set = midplane i busy
+	busyMPs  int          // popcount of bits, maintained incrementally
+	relEnd   []units.Time // per-midplane release estimate (meaningful where busy)
+	lastMask uint64       // valid-bit mask for the final bitset word
+	allocs   map[Alloc]partAlloc
+	used     int // sum of requested node counts of running jobs
 }
 
 type partAlloc struct {
@@ -42,13 +51,19 @@ func NewPartition(midplanes, perMP int) *Partition {
 	if midplanes <= 0 || perMP <= 0 {
 		panic("machine: partition machine needs positive dimensions")
 	}
-	return &Partition{
+	p := &Partition{
 		midplanes: midplanes,
 		perMP:     perMP,
 		maxPow2:   prevPow2(midplanes),
-		busy:      make([]bool, midplanes),
+		bits:      make([]uint64, (midplanes+63)/64),
+		relEnd:    make([]units.Time, midplanes),
+		lastMask:  ^uint64(0),
 		allocs:    make(map[Alloc]partAlloc),
 	}
+	if r := midplanes & 63; r != 0 {
+		p.lastMask = uint64(1)<<uint(r) - 1
+	}
+	return p
 }
 
 // NewIntrepid returns the machine model of the paper's evaluation
@@ -70,16 +85,9 @@ func (p *Partition) NodesPerMidplane() int { return p.perMP }
 // Midplanes returns the midplane count.
 func (p *Partition) Midplanes() int { return p.midplanes }
 
-// BusyNodes implements Machine (whole occupied partitions).
-func (p *Partition) BusyNodes() int {
-	n := 0
-	for _, b := range p.busy {
-		if b {
-			n++
-		}
-	}
-	return n * p.perMP
-}
+// BusyNodes implements Machine (whole occupied partitions). The busy
+// midplane count is a maintained popcount, so this is O(1).
+func (p *Partition) BusyNodes() int { return p.busyMPs * p.perMP }
 
 // IdleNodes implements Machine.
 func (p *Partition) IdleNodes() int { return p.TotalNodes() - p.BusyNodes() }
@@ -89,6 +97,11 @@ func (p *Partition) UsedNodes() int { return p.used }
 
 // RunningCount implements Machine.
 func (p *Partition) RunningCount() int { return len(p.allocs) }
+
+// midplaneBusy reports whether midplane i is occupied.
+func (p *Partition) midplaneBusy(i int) bool {
+	return p.bits[i>>6]&(1<<uint(i&63)) != 0
+}
 
 // BlockMidplanes returns the width in midplanes of the partition that
 // would serve a request of the given node count, or -1 when the request
@@ -117,41 +130,105 @@ func (p *Partition) PartitionNodes(nodes int) int {
 // CanFitEver implements Machine.
 func (p *Partition) CanFitEver(nodes int) bool { return p.BlockMidplanes(nodes) > 0 }
 
-// alignedStarts calls f with each aligned candidate start midplane for a
-// block of the given width, in increasing order, until f returns false.
-func (p *Partition) alignedStarts(width int, f func(start int) bool) {
-	for s := 0; s+width <= p.midplanes; s += width {
-		if !f(s) {
-			return
+// blockMask returns the bitset word index and mask covering midplanes
+// [start, start+span) within one word; span must not cross a word
+// boundary. Aligned power-of-two blocks up to 64 never do.
+func blockMask(start, span int) (word int, mask uint64) {
+	return start >> 6, (uint64(1)<<uint(span) - 1) << uint(start&63)
+}
+
+// blockFreeNow reports whether midplanes [start, start+width) are all
+// idle, testing whole bitset words at a time.
+func (p *Partition) blockFreeNow(start, width int) bool {
+	for end := start + width; start < end; {
+		span := 64 - start&63
+		if span > end-start {
+			span = end - start
 		}
+		w, mask := blockMask(start, span)
+		if p.bits[w]&mask != 0 {
+			return false
+		}
+		start += span
+	}
+	return true
+}
+
+// setBlock marks midplanes [start, start+width) busy (or idle when
+// busy=false) and maintains the popcount and release index.
+func (p *Partition) setBlock(start, width int, busy bool, end units.Time) {
+	for i := start; i < start+width; i++ {
+		p.relEnd[i] = end
+	}
+	for endIdx := start + width; start < endIdx; {
+		span := 64 - start&63
+		if span > endIdx-start {
+			span = endIdx - start
+		}
+		w, mask := blockMask(start, span)
+		if busy {
+			p.busyMPs += span - bits.OnesCount64(p.bits[w]&mask)
+			p.bits[w] |= mask
+		} else {
+			p.busyMPs -= bits.OnesCount64(p.bits[w] & mask)
+			p.bits[w] &^= mask
+		}
+		start += span
 	}
 }
 
-// blockFreeNow reports whether midplanes [start, start+width) are all idle.
-func (p *Partition) blockFreeNow(start, width int) bool {
-	for i := start; i < start+width; i++ {
-		if p.busy[i] {
-			return false
+// alignCandMasks[k] has a bit set at every multiple of 2^k within a
+// word: the aligned candidate start offsets for width-2^k blocks.
+var alignCandMasks = [7]uint64{
+	^uint64(0),
+	0x5555555555555555,
+	0x1111111111111111,
+	0x0101010101010101,
+	0x0001000100010001,
+	0x0000000100000001,
+	1,
+}
+
+// firstFreeBlock returns the lowest aligned start >= from of an
+// all-idle block of the given width, or -1. For widths inside one
+// bitset word the scan is word-parallel: fold the free mask so bit s
+// survives iff midplanes [s, s+width) are all idle, keep aligned
+// offsets, and take the lowest surviving bit — a handful of register
+// operations per 64 midplanes instead of a per-candidate probe loop.
+func (p *Partition) firstFreeBlock(width, from int) int {
+	if width > 64 || width > p.maxPow2 {
+		// At most one or two candidates (width 64 on small machines, or
+		// the full-system partition): probe them directly.
+		for s := (from + width - 1) / width * width; s+width <= p.midplanes; s += width {
+			if p.blockFreeNow(s, width) {
+				return s
+			}
+		}
+		return -1
+	}
+	for wi := from >> 6; wi < len(p.bits); wi++ {
+		free := ^p.bits[wi]
+		if wi == len(p.bits)-1 {
+			free &= p.lastMask
+		}
+		for s := 1; s < width; s <<= 1 {
+			free &= free >> uint(s)
+		}
+		free &= alignCandMasks[bits.Len(uint(width))-1]
+		if wi == from>>6 {
+			free &= ^uint64(0) << uint(from&63)
+		}
+		if free != 0 {
+			return wi<<6 + bits.TrailingZeros64(free)
 		}
 	}
-	return true
+	return -1
 }
 
 // CanStartNow implements Machine.
 func (p *Partition) CanStartNow(nodes int) bool {
 	width := p.BlockMidplanes(nodes)
-	if width < 0 {
-		return false
-	}
-	ok := false
-	p.alignedStarts(width, func(s int) bool {
-		if p.blockFreeNow(s, width) {
-			ok = true
-			return false
-		}
-		return true
-	})
-	return ok
+	return width > 0 && p.firstFreeBlock(width, 0) >= 0
 }
 
 // TryStart implements Machine with first-fit placement over aligned
@@ -161,14 +238,7 @@ func (p *Partition) TryStart(jobID, nodes int, now units.Time, walltime units.Du
 	if width < 0 {
 		return NoAlloc, false
 	}
-	hint := -1
-	p.alignedStarts(width, func(s int) bool {
-		if p.blockFreeNow(s, width) {
-			hint = s
-			return false
-		}
-		return true
-	})
+	hint := p.firstFreeBlock(width, 0)
 	if hint < 0 {
 		return NoAlloc, false
 	}
@@ -185,13 +255,12 @@ func (p *Partition) TryStartAt(jobID, nodes int, now units.Time, walltime units.
 	if !p.blockFreeNow(hint, width) {
 		return NoAlloc, false
 	}
-	for i := hint; i < hint+width; i++ {
-		p.busy[i] = true
-	}
+	end := now.Add(walltime)
+	p.setBlock(hint, width, true, end)
 	p.nextID++
 	p.allocs[p.nextID] = partAlloc{
 		jobID: jobID, nodes: nodes, start: hint, width: width,
-		expEnd: now.Add(walltime),
+		expEnd: end,
 	}
 	p.used += nodes
 	return p.nextID, true
@@ -203,9 +272,7 @@ func (p *Partition) Release(a Alloc, _ units.Time) {
 	if !ok {
 		panic(fmt.Sprintf("machine: release of unknown allocation %d", a))
 	}
-	for i := al.start; i < al.start+al.width; i++ {
-		p.busy[i] = false
-	}
+	p.setBlock(al.start, al.width, false, 0)
 	p.used -= al.nodes
 	delete(p.allocs, a)
 }
@@ -214,8 +281,10 @@ func (p *Partition) Release(a Alloc, _ units.Time) {
 func (p *Partition) Clone() Machine {
 	c := &Partition{
 		midplanes: p.midplanes, perMP: p.perMP, maxPow2: p.maxPow2,
-		nextID: p.nextID, used: p.used,
-		busy:   append([]bool(nil), p.busy...),
+		lastMask: p.lastMask,
+		nextID:   p.nextID, used: p.used, busyMPs: p.busyMPs,
+		bits:   append([]uint64(nil), p.bits...),
+		relEnd: append([]units.Time(nil), p.relEnd...),
 		allocs: make(map[Alloc]partAlloc, len(p.allocs)),
 	}
 	for k, v := range p.allocs {
@@ -224,25 +293,27 @@ func (p *Partition) Clone() Machine {
 	return c
 }
 
-// Plan implements Machine: per-midplane busy-interval timelines.
+// Plan implements Machine. The planner snapshots the machine's
+// per-midplane release index: base[i] is the instant midplane i frees
+// under walltime estimates (now when idle or freeing this instant), so
+// building a plan is two small allocations and one array copy — no
+// allocation-table walk, no per-midplane interval lists.
 func (p *Partition) Plan(now units.Time) Plan {
-	pl := &partPlan{now: now, m: p, busy: make([][]ival, p.midplanes)}
-	for _, al := range p.allocs {
-		end := al.expEnd
-		if end < now {
-			end = now
-		}
-		if end == now {
-			continue // freeing this instant; treat as idle for planning
-		}
-		for i := al.start; i < al.start+al.width; i++ {
-			pl.busy[i] = append(pl.busy[i], ival{from: now, to: end})
+	base := make([]units.Time, p.midplanes)
+	overdue := false
+	for i := range base {
+		if e := p.relEnd[i]; p.midplaneBusy(i) && e > now {
+			base[i] = e
+		} else {
+			base[i] = now
+			if p.midplaneBusy(i) {
+				// A busy midplane at or past its walltime-based release
+				// estimate: machine-occupied but profile-free at now.
+				overdue = true
+			}
 		}
 	}
-	for i := range pl.busy {
-		sort.Slice(pl.busy[i], func(a, b int) bool { return pl.busy[i][a].from < pl.busy[i][b].from })
-	}
-	return pl
+	return &partPlan{now: now, m: p, base: base, overdue: overdue}
 }
 
 // ival is a half-open busy interval [from, to).
@@ -250,13 +321,47 @@ type ival struct {
 	from, to units.Time
 }
 
-// partPlan is the partition machine's what-if planner: a sorted busy
-// timeline per midplane.
+// partPlan is the partition machine's what-if planner: an indexed
+// availability profile.
+//
+// The running jobs' future is one release instant per midplane (base):
+// midplane i is busy exactly over [now, base[i]). Commitments made
+// through the plan (reservations, window-search speculation) live in a
+// flat overlay log (ovl): one entry per commitment holding its midplane
+// range and time window, appended by Commit in commit order. The log
+// stays tiny — a window search keeps at most the window's worth of
+// speculative commitments live at once — so conflict probes are a
+// branch-predictable linear scan over a contiguous array, and
+// Save/Restore degenerate to remembering and restoring its length.
+//
+// With no overlays at all the earliest start of a block is simply the
+// maximum base release over its midplanes, and those maxima are cached
+// per width class (blockRel) — the per-width earliest-free cursor.
+// base is immutable for the plan's lifetime, so the cursor cache never
+// invalidates.
 type partPlan struct {
 	now  units.Time
 	m    *Partition
-	busy [][]ival
-	undo []planUndo // one entry per interval insert, in commit order
+	base []units.Time // per-midplane release floor (>= now, = now when idle)
+
+	// overdue records whether any machine-busy midplane has base == now
+	// (its release estimate is in the past). Such midplanes are invisible
+	// to the occupancy sweep yet free in the profile, so StartableNow must
+	// fall through to the cursor scan only when one exists.
+	overdue bool
+
+	ovl []planOvl // overlay log: one entry per outstanding commitment
+
+	// blockRel[k][b] = max base release over aligned block b of width
+	// class k, clamped to >= now; built lazily per class on first probe.
+	blockRel [][]units.Time
+}
+
+// planOvl is one committed block reservation: midplanes [lo, hi) are
+// held over [from, to).
+type planOvl struct {
+	lo, hi   int
+	from, to units.Time
 }
 
 // planUndo records a single sorted-insert of an interval into timeline
@@ -287,108 +392,201 @@ func (pl *partPlan) Now() units.Time { return pl.now }
 
 // Clone implements Plan.
 func (pl *partPlan) Clone() Plan {
-	c := &partPlan{now: pl.now, m: pl.m, busy: make([][]ival, len(pl.busy))}
-	for i := range pl.busy {
-		c.busy[i] = append([]ival(nil), pl.busy[i]...)
+	return &partPlan{
+		now:     pl.now,
+		m:       pl.m,
+		base:    append([]units.Time(nil), pl.base...),
+		overdue: pl.overdue,
+		ovl:     append([]planOvl(nil), pl.ovl...),
 	}
-	return c
 }
 
-// Save implements Plan: the mark is the undo-log position.
-func (pl *partPlan) Save() PlanMark { return PlanMark(len(pl.undo)) }
+// Save implements Plan: the mark is the overlay-log length.
+func (pl *partPlan) Save() PlanMark { return PlanMark(len(pl.ovl)) }
 
-// Restore implements Plan.
+// Restore implements Plan: commitments are only ever appended, so
+// rewinding is truncating the log.
 func (pl *partPlan) Restore(m PlanMark) {
-	pl.undo = undoInserts(pl.busy, pl.undo, int(m))
+	if int(m) < 0 || int(m) > len(pl.ovl) {
+		panic("machine: plan restore of an invalid mark")
+	}
+	pl.ovl = pl.ovl[:int(m)]
 }
 
-// midplaneFree reports whether midplane i is free over [t, t+d).
-func (pl *partPlan) midplaneFree(i int, t units.Time, d units.Duration) bool {
-	end := t.Add(d)
-	for _, iv := range pl.busy[i] {
-		if iv.from < end && t < iv.to {
-			return false
+// widthClass maps a block width to its cursor-cache slot: power-of-two
+// widths use their log2, the (non-power-of-two) full-system width uses
+// the final slot.
+func (pl *partPlan) widthClass(width int) int {
+	if width == pl.m.midplanes && width != pl.m.maxPow2 {
+		return bits.Len(uint(pl.m.maxPow2)) // one past the largest pow2 class
+	}
+	return bits.Len(uint(width)) - 1
+}
+
+// releases returns the per-block earliest-free cursor for the width:
+// releases(w)[b] is the earliest instant aligned block b (starting at
+// midplane b*w) is free of running jobs, ignoring overlays.
+func (pl *partPlan) releases(width int) []units.Time {
+	if pl.blockRel == nil {
+		pl.blockRel = make([][]units.Time, bits.Len(uint(pl.m.maxPow2))+1)
+	}
+	k := pl.widthClass(width)
+	if rel := pl.blockRel[k]; rel != nil {
+		return rel
+	}
+	rel := make([]units.Time, pl.m.midplanes/width)
+	for b := range rel {
+		mx := pl.now
+		for i := b * width; i < (b+1)*width; i++ {
+			if pl.base[i] > mx {
+				mx = pl.base[i]
+			}
+		}
+		rel[b] = mx
+	}
+	pl.blockRel[k] = rel
+	return rel
+}
+
+// conflictEnd returns the latest end among overlay commitments that
+// overlap midplanes [lo, hi) during [t, end), or -1 when the window is
+// conflict-free.
+func (pl *partPlan) conflictEnd(lo, hi int, t, end units.Time) units.Time {
+	worst := units.Time(-1)
+	for i := range pl.ovl {
+		ov := &pl.ovl[i]
+		if ov.lo < hi && lo < ov.hi && ov.from < end && t < ov.to && ov.to > worst {
+			worst = ov.to
 		}
 	}
-	return true
+	return worst
 }
 
 // blockFree reports whether the aligned block [start, start+width) is
-// free over [t, t+d).
+// free over [t, t+d): the cached base release of the block must be <= t
+// and no overlay commitment may overlap the window.
 func (pl *partPlan) blockFree(start, width int, t units.Time, d units.Duration) bool {
-	for i := start; i < start+width; i++ {
-		if !pl.midplaneFree(i, t, d) {
-			return false
-		}
+	if pl.releases(width)[start/width] > t {
+		return false
 	}
-	return true
+	if len(pl.ovl) == 0 {
+		return true
+	}
+	return pl.conflictEnd(start, start+width, t, t.Add(d)) < 0
 }
 
-// earliestForBlock returns the earliest t >= now at which the block is
-// free for the duration, or Forever once the candidate reaches bound
-// (the caller's incumbent best: a later start cannot win, so the jump
-// loop stops probing). It repeatedly jumps the candidate start to the
-// latest end among currently conflicting intervals: a window starting
-// before a conflicting interval's end still overlaps that interval, so
-// every conflicting end is a lower bound on the feasible start. Each
-// jump passes at least one interval end, so the loop terminates.
-func (pl *partPlan) earliestForBlock(start, width int, d units.Duration, bound units.Time) units.Time {
-	t := pl.now
+// earliestForBlockFrom returns the earliest t >= from at which
+// midplanes [lo, hi) are free of overlay commitments for the duration
+// (base releases are already folded into from), or Forever once the
+// candidate reaches bound (the caller's incumbent best: a later start
+// cannot win, so the jump loop stops probing). It repeatedly jumps the
+// candidate start to the latest end among currently conflicting overlay
+// intervals: a window starting before a conflicting interval's end
+// still overlaps that interval, so every conflicting end is a lower
+// bound on the feasible start. Each jump passes at least one interval
+// end, so the loop terminates.
+func (pl *partPlan) earliestForBlockFrom(from units.Time, lo, hi int, d units.Duration, bound units.Time) units.Time {
+	t := from
 	for {
 		if t >= bound {
 			return units.Forever
 		}
-		conflictEnd := units.Time(-1)
-		windowEnd := t.Add(d)
-		for i := start; i < start+width; i++ {
-			for _, iv := range pl.busy[i] {
-				if iv.from < windowEnd && t < iv.to && iv.to > conflictEnd {
-					conflictEnd = iv.to
-				}
-			}
-		}
-		if conflictEnd < 0 {
+		ce := pl.conflictEnd(lo, hi, t, t.Add(d))
+		if ce < 0 {
 			return t
 		}
-		t = conflictEnd
+		t = ce
 	}
+}
+
+// immediateFit is the word-parallel immediate-start sweep: the lowest
+// aligned block of the width whose midplanes are all idle on the machine
+// and uncommitted over [now, end), or -1. (A machine-idle midplane has
+// base == now, so with no overlays an idle block needs no further
+// check.) A miss does not prove "not startable now" by itself: overdue
+// midplanes are machine-busy yet profile-free.
+func (pl *partPlan) immediateFit(width int, end units.Time) int {
+	for s := pl.m.firstFreeBlock(width, 0); s >= 0; s = pl.m.firstFreeBlock(width, s+width) {
+		if len(pl.ovl) == 0 || pl.conflictEnd(s, s+width, pl.now, end) < 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+// StartableNow implements Plan: EarliestStart's answer restricted to the
+// "starts now" question. The occupancy sweep decides it outright unless
+// an overdue allocation exists; only then is the per-width cursor
+// consulted, so the common backfill screen never builds or walks the
+// availability profile.
+func (pl *partPlan) StartableNow(nodes int, walltime units.Duration) (int, bool) {
+	width := pl.m.BlockMidplanes(nodes)
+	if width < 0 || walltime <= 0 {
+		return -1, false
+	}
+	end := pl.now.Add(walltime)
+	if hint := pl.immediateFit(width, end); hint >= 0 {
+		return hint, true
+	}
+	if !pl.overdue {
+		// Every block free in the profile at now is machine-free, and the
+		// sweep just proved all of those conflict with an overlay.
+		return -1, false
+	}
+	// Mirror of EarliestStart's cursor scan, stopping at the first block
+	// free at now (the scan's first strict minimum when the answer is
+	// now, hence the identical hint).
+	rel := pl.releases(width)
+	for b, s := 0, 0; s+width <= pl.m.midplanes; b, s = b+1, s+width {
+		if rel[b] == pl.now && (len(pl.ovl) == 0 || pl.conflictEnd(s, s+width, pl.now, end) < 0) {
+			return s, true
+		}
+	}
+	return -1, false
 }
 
 // EarliestStart implements Plan. The hint is the start midplane of the
 // chosen block. Ties keep the first (lowest) block: a candidate must
 // strictly beat the incumbent, which the bound passed down to
-// earliestForBlock also enforces.
+// earliestForBlockFrom also enforces.
 func (pl *partPlan) EarliestStart(nodes int, walltime units.Duration) (units.Time, int) {
 	width := pl.m.BlockMidplanes(nodes)
 	if width < 0 || walltime <= 0 {
 		return units.Forever, -1
 	}
-	// Immediate-fit sweep: a block whose midplanes are all idle on the
-	// machine and uncommitted over [now, now+walltime) starts now. The
-	// occupancy bits screen candidates in O(1) per midplane (a busy
-	// midplane always carries a timeline interval opening at now), so a
-	// probe that can be answered "now" — most probes while a machine
-	// drains — never enters the jump loop below. The sweep is a fast
-	// path only: phase two reproduces the same answer when it misses.
-	hint := -1
-	pl.m.alignedStarts(width, func(s int) bool {
-		if pl.m.blockFreeNow(s, width) && pl.blockFree(s, width, pl.now, walltime) {
-			hint = s
-			return false
-		}
-		return true
-	})
+	// Immediate-fit sweep: a probe that can be answered "now" — most
+	// probes while a machine drains — never consults the profile below.
+	// The sweep is a fast path only: the cursor scan reproduces the same
+	// answer when it misses.
+	end := pl.now.Add(walltime)
+	hint := pl.immediateFit(width, end)
 	if hint >= 0 {
 		return pl.now, hint
 	}
+	rel := pl.releases(width)
 	best := units.Forever
-	pl.m.alignedStarts(width, func(s int) bool {
-		t := pl.earliestForBlock(s, width, walltime, best)
+	if len(pl.ovl) == 0 {
+		// Pure cursor scan: the earliest start per block is its cached
+		// base release; pick the first strict minimum.
+		for b, s := 0, 0; s+width <= pl.m.midplanes; b, s = b+1, s+width {
+			if t := rel[b]; t < best {
+				best, hint = t, s
+				if best == pl.now {
+					break
+				}
+			}
+		}
+		return best, hint
+	}
+	for b, s := 0, 0; s+width <= pl.m.midplanes; b, s = b+1, s+width {
+		t := pl.earliestForBlockFrom(rel[b], s, s+width, walltime, best)
 		if t < best {
 			best, hint = t, s
 		}
-		return best != pl.now // stop early on an immediate fit
-	})
+		if best == pl.now {
+			break
+		}
+	}
 	return best, hint
 }
 
@@ -401,15 +599,8 @@ func (pl *partPlan) Commit(nodes int, start units.Time, walltime units.Duration,
 	if start < pl.now || !pl.blockFree(hint, width, start, walltime) {
 		panic("machine: infeasible partition plan commitment")
 	}
-	end := start.Add(walltime)
-	for i := hint; i < hint+width; i++ {
-		ivs := append(pl.busy[i], ival{from: start, to: end})
-		// Insert in place: the timelines stay sorted by start time.
-		k := len(ivs) - 1
-		for ; k > 0 && ivs[k-1].from > ivs[k].from; k-- {
-			ivs[k-1], ivs[k] = ivs[k], ivs[k-1]
-		}
-		pl.busy[i] = ivs
-		pl.undo = append(pl.undo, planUndo{cell: i, pos: k})
-	}
+	pl.ovl = append(pl.ovl, planOvl{
+		lo: hint, hi: hint + width,
+		from: start, to: start.Add(walltime),
+	})
 }

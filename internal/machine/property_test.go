@@ -58,12 +58,30 @@ func partitionInvariantsHold(p *Partition) bool {
 			covered[i] = true
 		}
 	}
-	for i, b := range p.busy {
-		if b != covered[i] {
-			return false // bitmap out of sync with allocation table
+	busyCount := 0
+	for i := range covered {
+		if p.midplaneBusy(i) != covered[i] {
+			return false // bitset out of sync with allocation table
+		}
+		if covered[i] {
+			busyCount++
+			if p.relEnd[i] != p.allocEndAt(i) {
+				return false // release index out of sync
+			}
 		}
 	}
-	return true
+	return busyCount*p.perMP == p.BusyNodes() // popcount cache in sync
+}
+
+// allocEndAt returns the expected-end estimate of the allocation
+// covering midplane i (test helper; zero when none covers it).
+func (p *Partition) allocEndAt(i int) units.Time {
+	for _, al := range p.allocs {
+		if i >= al.start && i < al.start+al.width {
+			return al.expEnd
+		}
+	}
+	return 0
 }
 
 // TestFlatPlanProperties checks on random machines that EarliestStart

@@ -344,6 +344,17 @@ func (pl *torusPlan) earliestForCells(cells []int, d units.Duration) units.Time 
 	}
 }
 
+// StartableNow implements Plan. EarliestStart already stops at the
+// first immediate fit, so delegation costs nothing extra on a hit; the
+// torus has no cheaper occupancy shortcut that preserves the hint.
+func (pl *torusPlan) StartableNow(nodes int, walltime units.Duration) (int, bool) {
+	ts, hint := pl.EarliestStart(nodes, walltime)
+	if ts != pl.now {
+		return -1, false
+	}
+	return hint, true
+}
+
 // EarliestStart implements Plan.
 func (pl *torusPlan) EarliestStart(nodes int, walltime units.Duration) (units.Time, int) {
 	if walltime <= 0 || !pl.m.CanFitEver(nodes) {

@@ -38,6 +38,23 @@ type Collector struct {
 	unfair    int
 	fairKnown int
 
+	// Lean (streaming) mode: per-job samples are folded into running
+	// aggregates instead of retained, and the Busy/Used step histories
+	// are compacted behind the retention window, so the collector's
+	// memory stays O(retained window) regardless of trace length. See
+	// SetLean.
+	lean     bool
+	keep     units.Duration
+	started  int
+	waitSum  float64
+	waitPeak float64
+	sdSum    float64
+	sdPeak   float64
+	busyInt  float64 // incremental ∫busy dt (the compacted series can't provide it)
+	usedInt  float64
+	lastBusy int
+	lastUsed int
+
 	// Loss-of-capacity integration (Eq. 4): between scheduling events i
 	// and i+1, n_i idle nodes count as lost iff some queued job would
 	// fit in them (δ_i = 1).
@@ -73,6 +90,35 @@ func NewCollector(totalNodes int) *Collector {
 // TotalNodes returns the machine size the collector was built for.
 func (c *Collector) TotalNodes() int { return c.totalNodes }
 
+// SetLean switches the collector to streaming aggregation for runs too
+// long to retain per-job state: waits and slowdowns fold into running
+// mean/max aggregates (WaitSummary and SlowdownSummary then report N,
+// Mean, and Max only — percentiles need the full sample), the
+// checkpoint series stay empty (they grow with simulated time), and
+// each Compact call drops Busy/Used history older than keep. keep must
+// cover the widest rolling window still queried (the checkpoint series
+// sample up to 24 hours); rolling-window queries reaching further back
+// than keep see the history clipped at the compaction point. Call
+// before the first sample.
+func (c *Collector) SetLean(keep units.Duration) {
+	if keep <= 0 {
+		panic("metrics: non-positive lean retention window")
+	}
+	c.lean = true
+	c.keep = keep
+}
+
+// Compact discards step history the lean retention contract no longer
+// needs, measured back from now. No-op unless SetLean was called.
+func (c *Collector) Compact(now units.Time) {
+	if !c.lean {
+		return
+	}
+	cutoff := now.Add(-c.keep)
+	c.Busy.CompactBefore(cutoff)
+	c.Used.CompactBefore(cutoff)
+}
+
 // OnScheduleStep records the post-scheduling state at a scheduling
 // event: the busy/used node counts and whether any queued job would fit
 // in the idle nodes (the δ of Eq. 4).
@@ -84,10 +130,17 @@ func (c *Collector) OnScheduleStep(now units.Time, busy, used int, queuedFits bo
 		if c.lastDelta {
 			c.locNodeSec += float64(c.lastIdle) * float64(now-c.lastStep)
 		}
+		if c.lean {
+			dt := float64(now - c.lastStep)
+			c.busyInt += float64(c.lastBusy) * dt
+			c.usedInt += float64(c.lastUsed) * dt
+		}
 	} else {
 		c.firstEvent = now
 		c.haveStep = true
 	}
+	c.lastBusy = busy
+	c.lastUsed = used
 	c.lastStep = now
 	c.lastIdle = c.totalNodes - busy
 	c.lastDelta = queuedFits
@@ -100,8 +153,22 @@ func (c *Collector) OnScheduleStep(now units.Time, busy, used int, queuedFits bo
 // a fair start time, whether the start was unfair (actual start beyond
 // fair start plus tolerance).
 func (c *Collector) OnJobStart(j *job.Job, fairStart units.Time, tolerance units.Duration, fairKnown bool) {
-	c.waitsMin = append(c.waitsMin, j.Wait().Minutes())
-	c.slowdowns = append(c.slowdowns, j.Slowdown(slowdownTau))
+	wait := j.Wait().Minutes()
+	sd := j.Slowdown(slowdownTau)
+	if c.lean {
+		c.started++
+		c.waitSum += wait
+		c.sdSum += sd
+		if wait > c.waitPeak {
+			c.waitPeak = wait
+		}
+		if sd > c.sdPeak {
+			c.sdPeak = sd
+		}
+	} else {
+		c.waitsMin = append(c.waitsMin, wait)
+		c.slowdowns = append(c.slowdowns, sd)
+	}
 	if fairKnown {
 		c.fairKnown++
 		if j.Start > fairStart.Add(tolerance) {
@@ -148,8 +215,14 @@ func (c *Collector) UtilWindowAvg(now units.Time, w units.Duration) float64 {
 }
 
 // OnCheckpoint samples the checkpoint series. bf/w are the scheduler's
-// current tunables when it exposes them (hasTunables).
+// current tunables when it exposes them (hasTunables). Lean collectors
+// sample nothing: the checkpoint series grow with simulated time, which
+// a bounded-memory streaming run cannot afford (schedulers still read
+// live utilization through UtilWindowAvg).
 func (c *Collector) OnCheckpoint(now units.Time, queue []*job.Job, bf float64, w int, hasTunables bool) {
+	if c.lean {
+		return
+	}
 	c.QD.Append(now, QueueDepthMinutes(now, queue))
 	c.UtilInstant.Append(now, c.Busy.AtCursor(now, &c.atCur)/float64(c.totalNodes))
 	c.Util1H.Append(now, c.UtilWindowAvg(now, units.Hour))
@@ -166,17 +239,52 @@ func (c *Collector) OnCheckpoint(now units.Time, queue []*job.Job, bf float64, w
 const slowdownTau = 10 * units.Second
 
 // AvgWaitMinutes is the mean waiting time across started jobs.
-func (c *Collector) AvgWaitMinutes() float64 { return stats.Mean(c.waitsMin) }
+func (c *Collector) AvgWaitMinutes() float64 {
+	if c.lean {
+		if c.started == 0 {
+			return 0
+		}
+		return c.waitSum / float64(c.started)
+	}
+	return stats.Mean(c.waitsMin)
+}
 
 // SlowdownSummary summarizes the bounded slowdown distribution
-// ((wait+runtime)/max(runtime, 10s)) across started jobs.
-func (c *Collector) SlowdownSummary() stats.Summary { return stats.Summarize(c.slowdowns) }
+// ((wait+runtime)/max(runtime, 10s)) across started jobs. In lean mode
+// only N, Mean, and Max are available.
+func (c *Collector) SlowdownSummary() stats.Summary {
+	if c.lean {
+		return c.leanSummary(c.sdSum, c.sdPeak)
+	}
+	return stats.Summarize(c.slowdowns)
+}
 
 // MaxWaitMinutes is the largest waiting time across started jobs.
-func (c *Collector) MaxWaitMinutes() float64 { return stats.Max(c.waitsMin) }
+func (c *Collector) MaxWaitMinutes() float64 {
+	if c.lean {
+		return c.waitPeak
+	}
+	return stats.Max(c.waitsMin)
+}
 
-// WaitSummary summarizes the waiting-time distribution (minutes).
-func (c *Collector) WaitSummary() stats.Summary { return stats.Summarize(c.waitsMin) }
+// WaitSummary summarizes the waiting-time distribution (minutes). In
+// lean mode only N, Mean, and Max are available.
+func (c *Collector) WaitSummary() stats.Summary {
+	if c.lean {
+		return c.leanSummary(c.waitSum, c.waitPeak)
+	}
+	return stats.Summarize(c.waitsMin)
+}
+
+// leanSummary builds the partial Summary streaming aggregation can
+// offer: percentiles would require the retained sample.
+func (c *Collector) leanSummary(sum, peak float64) stats.Summary {
+	s := stats.Summary{N: c.started, Max: peak}
+	if c.started > 0 {
+		s.Mean = sum / float64(c.started)
+	}
+	return s
+}
 
 // UnfairCount is the number of jobs started after their fair start time.
 func (c *Collector) UnfairCount() int { return c.unfair }
@@ -185,7 +293,12 @@ func (c *Collector) UnfairCount() int { return c.unfair }
 func (c *Collector) FairKnownCount() int { return c.fairKnown }
 
 // StartedCount is the number of jobs that started.
-func (c *Collector) StartedCount() int { return len(c.waitsMin) }
+func (c *Collector) StartedCount() int {
+	if c.lean {
+		return c.started
+	}
+	return len(c.waitsMin)
+}
 
 // FinishedCount is the number of jobs that completed within walltime.
 func (c *Collector) FinishedCount() int { return c.finished }
@@ -204,11 +317,16 @@ func (c *Collector) LoC() float64 {
 	return c.locNodeSec / (float64(c.totalNodes) * float64(span))
 }
 
-// UtilAvg is the mean busy fraction of the machine over the run.
+// UtilAvg is the mean busy fraction of the machine over the run. Lean
+// mode integrates incrementally (the compacted series no longer spans
+// the run).
 func (c *Collector) UtilAvg() float64 {
 	span := c.lastEvent.Sub(c.firstEvent)
 	if span <= 0 {
 		return 0
+	}
+	if c.lean {
+		return c.busyInt / (float64(c.totalNodes) * float64(span))
 	}
 	return c.Busy.Integrate(c.firstEvent, c.lastEvent) / (float64(c.totalNodes) * float64(span))
 }
@@ -219,6 +337,9 @@ func (c *Collector) UsedAvg() float64 {
 	span := c.lastEvent.Sub(c.firstEvent)
 	if span <= 0 {
 		return 0
+	}
+	if c.lean {
+		return c.usedInt / (float64(c.totalNodes) * float64(span))
 	}
 	return c.Used.Integrate(c.firstEvent, c.lastEvent) / (float64(c.totalNodes) * float64(span))
 }

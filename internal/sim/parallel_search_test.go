@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"amjs/internal/core"
+	"amjs/internal/machine"
+	"amjs/internal/workload"
+)
+
+// scheduleHash fingerprints a completed schedule: every job's identity
+// and placement, in input order.
+func scheduleHash(res *Result) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, j := range res.Jobs {
+		word(int64(j.ID))
+		word(int64(j.Submit))
+		word(int64(j.Start))
+		word(int64(j.End))
+		word(int64(j.Nodes))
+		word(int64(j.State))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// The parallel window search is a pure throughput knob: replaying the
+// same trace with the search serial, on two workers, and on eight must
+// produce byte-identical schedules (same hash over every job's start,
+// end, and state).
+func TestParallelSearchScheduleDeterministic(t *testing.T) {
+	cfg := workload.Intrepid(17)
+	cfg.MaxJobs = 400
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want [32]byte
+	for i, workers := range []int{1, 2, 8} {
+		s := core.NewMetricAware(0.5, 5)
+		s.SearchWorkers = workers
+		res, err := Run(Config{
+			Machine:   machine.NewIntrepid(),
+			Scheduler: s,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := scheduleHash(res)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d: schedule hash %x differs from serial %x", workers, got, want)
+		}
+	}
+}

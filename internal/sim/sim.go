@@ -109,6 +109,12 @@ type Result struct {
 	// Makespan is the span from the first submission to the last
 	// completion.
 	Makespan units.Duration
+
+	// AcceptedCount and RejectedCount duplicate len(Jobs) and
+	// len(Rejected) for runs that retain them, and are the only census
+	// available from a sink-driven RunStream, which retains neither.
+	AcceptedCount int
+	RejectedCount int
 }
 
 // Run simulates the workload under the configuration. The input jobs
@@ -175,11 +181,13 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 	}
 
 	res := &Result{
-		Policy:     e.scheduler.Name(),
-		Jobs:       accepted,
-		Rejected:   rejected,
-		Metrics:    e.collector,
-		FairStarts: e.fairStarts,
+		Policy:        e.scheduler.Name(),
+		Jobs:          accepted,
+		Rejected:      rejected,
+		Metrics:       e.collector,
+		FairStarts:    e.fairStarts,
+		AcceptedCount: len(accepted),
+		RejectedCount: len(rejected),
 	}
 	if len(accepted) > 0 {
 		firstSubmit, lastEnd := accepted[0].Submit, accepted[0].End
@@ -209,6 +217,7 @@ type engine struct {
 	collector  *metrics.Collector
 	fairStarts map[int]units.Time
 	sub        bool // nested fairness simulation: no checkpoints, no oracle
+	stream     *streamState // non-nil when arrivals come from a JobSource (RunStream)
 
 	// Pass-elision state (see run): dirty records whether anything
 	// schedule-relevant happened since the last executed scheduling
@@ -239,6 +248,11 @@ func (e *engine) run(stop func() bool) error {
 	for {
 		if stop != nil && stop() {
 			return nil
+		}
+		if e.stream != nil {
+			if err := e.pumpArrivals(); err != nil {
+				return err
+			}
 		}
 		next, ok := e.events.Peek()
 		if !ok {
@@ -304,7 +318,8 @@ func (e *engine) run(stop func() bool) error {
 			if ad, ok := e.scheduler.(sched.Adaptive); ok {
 				ad.Checkpoint(e, e)
 			}
-			if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 {
+			e.collector.Compact(e.now) // no-op outside lean streaming runs
+			if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() {
 				e.events.Push(e.now.Add(e.cfg.CheckInterval), evCheckpoint, nil)
 			}
 		}
@@ -336,7 +351,7 @@ func (e *engine) run(stop func() bool) error {
 			e.dirty = false
 		}
 
-		if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0) {
+		if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive()) {
 			next := e.now.Add(e.cfg.SchedulePeriod)
 			if e.sub && !e.cfg.disableElision && !e.dirty && !e.lastDelta {
 				// Nested runs have no collector to sample, so a stretch
@@ -442,6 +457,14 @@ func (e *engine) finish(j *job.Job) {
 	if !e.sub {
 		e.collector.OnJobEnd(j)
 	}
+	if st := e.stream; st != nil {
+		if j.End > st.lastEnd {
+			st.lastEnd = j.End
+		}
+		if st.sink != nil {
+			st.sink(j)
+		}
+	}
 }
 
 // Now implements sched.Env.
@@ -495,6 +518,11 @@ func (e *engine) begin(j *job.Job, a machine.Alloc) {
 	if !e.sub {
 		fair, known := e.fairStarts[j.ID]
 		e.collector.OnJobStart(j, fair, e.cfg.FairnessTolerance, known && e.cfg.Fairness)
+		if e.stream != nil && e.stream.sink != nil {
+			// Sink-driven runs keep the oracle map O(live jobs): the
+			// entry has served its purpose once the job starts.
+			delete(e.fairStarts, j.ID)
+		}
 	}
 }
 

@@ -155,6 +155,34 @@ func (s *StepSeries) Set(t units.Time, v float64) {
 // Len returns the number of breakpoints.
 func (s *StepSeries) Len() int { return len(s.times) }
 
+// CompactBefore drops every breakpoint before the last one at or before
+// cutoff, bounding the series' memory to the history a caller still
+// queries. Lookups and window integrals at times >= cutoff are
+// unchanged (Integrate only ever uses cumulative differences, so the
+// dropped prefix cancels); queries reaching before the new first
+// breakpoint see the series clipped there, exactly as they would at the
+// start of an uncompacted trace. Outstanding Cursors remain safe: a
+// cursor whose remembered index no longer matches re-anchors itself on
+// the next lookup. The backing arrays are reused in place, so a
+// periodically compacted series stops allocating once it reaches its
+// steady-state window size.
+func (s *StepSeries) CompactBefore(cutoff units.Time) {
+	i := sort.Search(len(s.times), func(k int) bool { return s.times[k] > cutoff }) - 1
+	if i <= 0 {
+		return
+	}
+	base := s.cum[i]
+	n := copy(s.times, s.times[i:])
+	s.times = s.times[:n]
+	copy(s.vals, s.vals[i:])
+	s.vals = s.vals[:n]
+	copy(s.cum, s.cum[i:])
+	s.cum = s.cum[:n]
+	for k := range s.cum {
+		s.cum[k] -= base
+	}
+}
+
 // Start returns the first breakpoint time; ok is false when empty.
 func (s *StepSeries) Start() (t units.Time, ok bool) {
 	if len(s.times) == 0 {

@@ -257,6 +257,19 @@ func Intrepid(seed int64) Config {
 	}
 }
 
+// IntrepidYear is the Intrepid preset stretched to a year-long horizon,
+// the scale the production trace replays cover. Capped at 50k jobs it
+// is the calibrated trace behind BenchmarkSimAtScale; uncapped it
+// yields ~65k jobs. Same distributions as Intrepid, so the offered
+// load stays at the paper's ~80%.
+func IntrepidYear(seed int64) Config {
+	c := Intrepid(seed)
+	c.Name = "intrepid-year"
+	c.Horizon = 365 * units.Day
+	c.MaxJobs = 50_000
+	return c
+}
+
 // IntrepidHeavy is the Intrepid preset with a heavier, burstier load —
 // the "different workload" second trace used for Table II.
 func IntrepidHeavy(seed int64) Config {

@@ -1,0 +1,412 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"amjs/internal/job"
+	"amjs/internal/rng"
+	"amjs/internal/units"
+)
+
+// Source delivers a job trace one job at a time, in nondecreasing
+// submit order. It is the streaming counterpart of a materialized
+// []*job.Job slice: a year-long production trace can be replayed in
+// O(live window) memory because the simulator only ever needs the jobs
+// that have arrived and not yet completed.
+//
+// Next returns (nil, io.EOF) when the trace is exhausted. Any other
+// error aborts the replay.
+type Source interface {
+	Next() (*job.Job, error)
+}
+
+// Collect drains a source into a slice — the bridge back to every API
+// that wants a materialized trace. Mostly useful in tests and small
+// traces; at the million-job scale, feed the source to sim.RunStream
+// instead.
+func Collect(src Source) ([]*job.Job, error) {
+	var jobs []*job.Job
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			return jobs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// SliceSource adapts an already-materialized, submit-ordered trace to
+// the Source interface. The jobs are handed out as-is (not cloned).
+func SliceSource(jobs []*job.Job) Source {
+	return &sliceSource{jobs: jobs}
+}
+
+type sliceSource struct {
+	jobs []*job.Job
+	i    int
+}
+
+// Next implements Source.
+func (s *sliceSource) Next() (*job.Job, error) {
+	if s.i >= len(s.jobs) {
+		return nil, io.EOF
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, nil
+}
+
+// DefaultSWFSlack is the reorder window NewSWFSource tolerates: records
+// whose submit times are out of order by less than this are silently
+// re-sorted in the streaming buffer. Parallel Workloads Archive traces
+// are sorted or very nearly so; an hour absorbs every known case while
+// keeping the buffer a sliver of the trace.
+const DefaultSWFSlack = units.Hour
+
+// SWFSource streams an SWF trace from an io.Reader without
+// materializing it: jobs come out in (submit, ID) order with submit
+// times rebased to zero, exactly as ReadSWF orders them, but only the
+// records inside the reorder window are held in memory.
+//
+// Out-of-order records are tolerated up to the slack: a record is
+// released only once every record read so far submits at least slack
+// later (or the trace ended), so any two records whose submit times
+// disagree with file order by less than the slack are emitted in sorted
+// order. A record arriving more than the slack out of order is an
+// error — streaming cannot sort what it has already emitted.
+type SWFSource struct {
+	sc      *bufio.Scanner
+	ppn     int
+	opt     SWFOptions
+	slack   units.Duration
+	lineNo  int
+	skipped int
+
+	buf      swfBuf // reorder buffer: min-heap by (submit, ID)
+	maxSeen  units.Time
+	lastOut  units.Time
+	base     units.Time
+	haveBase bool
+	eof      bool
+	inOrder  bool // records parsed so far were already (submit, ID) sorted
+	prevSub  units.Time
+	prevID   int
+	haveAny  bool
+}
+
+// NewSWFSource returns a streaming SWF parser over r. A slack of 0
+// selects DefaultSWFSlack.
+func NewSWFSource(r io.Reader, opt SWFOptions, slack units.Duration) *SWFSource {
+	ppn := opt.ProcsPerNode
+	if ppn <= 0 {
+		ppn = 1
+	}
+	if slack <= 0 {
+		slack = DefaultSWFSlack
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &SWFSource{sc: sc, ppn: ppn, opt: opt, slack: slack, inOrder: true}
+}
+
+// Skipped reports how many unusable records have been dropped so far
+// (final once Next has returned io.EOF).
+func (s *SWFSource) Skipped() int { return s.skipped }
+
+// InOrder reports whether every record parsed so far was already in
+// (submit, ID) order — true for the Parallel Workloads Archive common
+// case, in which the reorder buffer holds exactly one record at a time.
+func (s *SWFSource) InOrder() bool { return s.inOrder }
+
+// Next implements Source.
+func (s *SWFSource) Next() (*job.Job, error) {
+	// Read ahead until the earliest buffered record is provably safe to
+	// release: nothing later in the file may precede it by the slack
+	// contract.
+	for !s.eof && (s.buf.Len() == 0 || s.maxSeen < s.buf.min().Submit.Add(s.slack)) {
+		j, err := s.scanRecord()
+		if err != nil {
+			return nil, err
+		}
+		if j == nil {
+			continue // skipped or EOF (eof flag set)
+		}
+		if j.Submit < s.lastOut {
+			return nil, fmt.Errorf("workload: line %d: submit order violated by more than the %v reorder slack", s.lineNo, s.slack)
+		}
+		if s.haveAny && (j.Submit < s.prevSub || (j.Submit == s.prevSub && j.ID < s.prevID)) {
+			s.inOrder = false
+		}
+		s.prevSub, s.prevID, s.haveAny = j.Submit, j.ID, true
+		if j.Submit > s.maxSeen {
+			s.maxSeen = j.Submit
+		}
+		s.buf.push(j)
+	}
+	if s.buf.Len() == 0 {
+		return nil, io.EOF
+	}
+	j := s.buf.pop()
+	if !s.haveBase {
+		s.base, s.haveBase = j.Submit, true
+	}
+	s.lastOut = j.Submit
+	j.Submit -= s.base
+	return j, nil
+}
+
+// scanRecord parses lines until one yields a usable job, is skipped
+// (returns nil, nil with skipped incremented), or the input ends
+// (returns nil, nil with eof set).
+func (s *SWFSource) scanRecord() (*job.Job, error) {
+	for s.sc.Scan() {
+		s.lineNo++
+		j, skip, err := parseSWFLine(s.sc.Text(), s.lineNo, s.ppn, s.opt)
+		if err != nil {
+			return nil, err
+		}
+		if skip {
+			s.skipped++
+			return nil, nil
+		}
+		if j != nil {
+			return j, nil
+		}
+		// Comment or blank line: keep scanning.
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading SWF: %w", err)
+	}
+	s.eof = true
+	return nil, nil
+}
+
+// swfBuf is a min-heap of jobs by (submit, ID).
+type swfBuf []*job.Job
+
+func (h swfBuf) Len() int { return len(h) }
+
+func (h swfBuf) less(a, b *job.Job) bool {
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+func (h swfBuf) min() *job.Job { return h[0] }
+
+func (h *swfBuf) push(j *job.Job) {
+	*h = append(*h, j)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *swfBuf) pop() *job.Job {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less((*h)[l], (*h)[m]) {
+			m = l
+		}
+		if r < n && h.less((*h)[r], (*h)[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top
+}
+
+// Stream returns a Source yielding exactly the jobs Generate would
+// return, in the same order with the same IDs and attributes, without
+// materializing the trace. Generate's only global step is sorting the
+// arrival instants; arrival disorder is bounded (a burst spreads its
+// extra submissions at most BurstSpread past the arrival that opened
+// it, and the base arrival clock is monotone), so a pending min-heap
+// drained up to the base clock reproduces the sorted order while
+// holding only the arrivals still inside the reorder window. Job
+// attributes are drawn per emitted index from the same split RNG
+// streams Generate uses, so the two paths are bit-identical — a
+// property the test suite pins.
+func (c *Config) Stream() (Source, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cc := *c
+	root := rng.New(cc.Seed)
+	g := &genStream{
+		c:          &cc,
+		arrivalRng: root.Split("arrivals"),
+		sizeRng:    root.Split("sizes"),
+		runRng:     root.Split("runtimes"),
+		wallRng:    root.Split("walltimes"),
+		userRng:    root.Split("users"),
+		burstRng:   root.Split("bursts"),
+	}
+	weights := make([]float64, len(cc.Sizes))
+	for i, s := range cc.Sizes {
+		weights[i] = s.Weight
+	}
+	g.sizeDist = rng.NewWeighted(weights)
+	g.userDist = rng.NewZipf(cc.Users, cc.UserSkew)
+	baseRate := 1 / float64(cc.Arrival.MeanInterarrival)
+	g.maxRate = baseRate * (1 + cc.Arrival.DiurnalAmplitude)
+	return g, nil
+}
+
+// genStream is the incremental synthetic generator behind
+// Config.Stream.
+type genStream struct {
+	c          *Config
+	arrivalRng *rng.Source
+	sizeRng    *rng.Source
+	runRng     *rng.Source
+	wallRng    *rng.Source
+	userRng    *rng.Source
+	burstRng   *rng.Source
+	sizeDist   *rng.Weighted
+	userDist   *rng.Zipf
+	maxRate    float64
+
+	t         float64  // base arrival clock (monotone)
+	generated int      // arrivals produced so far (Generate's cap counter)
+	pending   timeHeap // arrivals not yet emitted
+	genDone   bool
+	emitted   int
+}
+
+func (g *genStream) capReached() bool {
+	return g.c.MaxJobs > 0 && g.generated >= g.c.MaxJobs
+}
+
+// step replicates one iteration of Generate's arrival loop: one base
+// interarrival draw, the thinning test, and the optional burst. The RNG
+// consumption order matches Generate exactly.
+func (g *genStream) step() {
+	if g.capReached() {
+		g.genDone = true
+		return
+	}
+	g.t += g.arrivalRng.Exp(1 / g.maxRate)
+	if units.Duration(g.t) > g.c.Horizon {
+		g.genDone = true
+		return
+	}
+	if g.arrivalRng.Float64() >= g.c.rateAt(units.Time(g.t))/g.maxRate {
+		return // thinned
+	}
+	g.pending.push(units.Time(g.t))
+	g.generated++
+	if g.c.Arrival.BurstProb > 0 && g.burstRng.Bool(g.c.Arrival.BurstProb) {
+		n := 1 + g.burstRng.Intn(2*g.c.Arrival.MeanBurstSize)
+		for k := 0; k < n && !g.capReached(); k++ {
+			off := units.Duration(g.burstRng.Float64() * float64(g.c.Arrival.BurstSpread))
+			st := units.Time(g.t).Add(off)
+			if units.Duration(st) <= g.c.Horizon {
+				g.pending.push(st)
+				g.generated++
+			}
+		}
+	}
+}
+
+// Next implements Source.
+func (g *genStream) Next() (*job.Job, error) {
+	// The earliest pending arrival is final once the base clock passes
+	// it: every future submit is at least the current base clock.
+	for !g.genDone && (g.pending.Len() == 0 || g.pending.min() > units.Time(g.t)) {
+		g.step()
+	}
+	if g.pending.Len() == 0 {
+		return nil, io.EOF
+	}
+	submit := g.pending.pop()
+	c := g.c
+	nodes := c.Sizes[g.sizeDist.Draw(g.sizeRng)].Nodes
+	if c.OddSizeProb > 0 && g.sizeRng.Bool(c.OddSizeProb) && nodes > 1 {
+		nodes = 1 + int(float64(nodes-1)*g.sizeRng.Uniform(0.55, 1.0))
+	}
+	runtime := units.Duration(g.runRng.LogNormal(math.Log(c.Runtime.MedianSeconds), c.Runtime.Sigma)).
+		Clamp(c.Runtime.Min, c.Runtime.Max)
+	walltime := c.drawWalltime(g.wallRng, runtime)
+	g.emitted++
+	j := &job.Job{
+		ID:       g.emitted,
+		User:     fmt.Sprintf("u%d", g.userDist.Draw(g.userRng)+1),
+		Submit:   submit,
+		Nodes:    nodes,
+		Walltime: walltime,
+		Runtime:  runtime,
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid job: %w", err)
+	}
+	return j, nil
+}
+
+// timeHeap is a min-heap of arrival instants.
+type timeHeap []units.Time
+
+func (h timeHeap) Len() int        { return len(h) }
+func (h timeHeap) min() units.Time { return h[0] }
+
+func (h *timeHeap) push(t units.Time) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[i] >= (*h)[p] {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *timeHeap) pop() units.Time {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (*h)[l] < (*h)[m] {
+			m = l
+		}
+		if r < n && (*h)[r] < (*h)[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"amjs/internal/units"
+)
+
+// The streaming generator must be bit-identical to the batch
+// generator: same jobs, same order, same IDs.
+func TestStreamMatchesGenerate(t *testing.T) {
+	configs := map[string]Config{
+		"mini":     Mini(3),
+		"intrepid": func() Config { c := Intrepid(7); c.MaxJobs = 2000; return c }(),
+		"heavy":    func() Config { c := IntrepidHeavy(11); c.MaxJobs = 500; return c }(),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			want, err := cfg.Generate()
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			src, err := cfg.Stream()
+			if err != nil {
+				t.Fatalf("Stream: %v", err)
+			}
+			got, err := Collect(src)
+			if err != nil {
+				t.Fatalf("Collect: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("streamed %d jobs, batch generated %d", len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("job %d differs:\nstream: %+v\nbatch:  %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// Streaming must not retain the whole trace: a second Next after EOF
+// stays EOF, and the source is single-pass.
+func TestStreamEOFSticky(t *testing.T) {
+	cfg := Mini(1)
+	src, err := cfg.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestSWFSourceMatchesReadSWF(t *testing.T) {
+	opt := SWFOptions{ProcsPerNode: 1}
+	want, wantSkipped, err := ReadSWF(strings.NewReader(SampleSWF), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSWFSource(strings.NewReader(SampleSWF), opt, DefaultSWFSlack)
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Skipped() != wantSkipped {
+		t.Errorf("Skipped() = %d, want %d", src.Skipped(), wantSkipped)
+	}
+	if !src.InOrder() {
+		t.Errorf("InOrder() = false for the in-order sample trace")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streaming SWF parse differs from batch parse:\nstream: %v\nbatch:  %v", got, want)
+	}
+}
+
+// makeSWFLine renders one 18-field record with the given id, submit,
+// runtime, and processor count.
+func makeSWFLine(id int, submit, run, procs int) string {
+	return fmt.Sprintf("%d %d -1 %d %d -1 -1 %d %d -1 1 1 -1 -1 -1 -1 -1 -1\n",
+		id, submit, run, procs, procs, run*2)
+}
+
+func TestSWFSourceReordersWithinSlack(t *testing.T) {
+	// Records out of submit order, but never by more than 100 s.
+	var b strings.Builder
+	b.WriteString(makeSWFLine(1, 50, 600, 64))
+	b.WriteString(makeSWFLine(2, 0, 600, 64)) // 50 s behind the max seen
+	b.WriteString(makeSWFLine(3, 120, 600, 64))
+	b.WriteString(makeSWFLine(4, 80, 600, 64)) // 40 s behind
+	b.WriteString(makeSWFLine(5, 300, 600, 64))
+	trace := b.String()
+	opt := SWFOptions{ProcsPerNode: 1}
+
+	want, _, err := ReadSWF(strings.NewReader(trace), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSWFSource(strings.NewReader(trace), opt, 100*units.Second)
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.InOrder() {
+		t.Errorf("InOrder() = true for an out-of-order trace")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reordered streaming parse differs from batch parse:\nstream: %v\nbatch:  %v", got, want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Submit < got[i-1].Submit {
+			t.Fatalf("emitted submits not nondecreasing at %d: %v after %v", i, got[i].Submit, got[i-1].Submit)
+		}
+	}
+}
+
+func TestSWFSourceDisorderBeyondSlack(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(makeSWFLine(1, 100, 600, 64))
+	b.WriteString(makeSWFLine(2, 300, 600, 64)) // pushes job 1 out of the buffer
+	b.WriteString(makeSWFLine(3, 50, 600, 64))  // precedes an already-emitted record
+	src := NewSWFSource(strings.NewReader(b.String()), SWFOptions{ProcsPerNode: 1}, 100*units.Second)
+	_, err := Collect(src)
+	if err == nil {
+		t.Fatal("want error for disorder beyond the slack window, got nil")
+	}
+}
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	jobs, _, err := ReadSWF(strings.NewReader(SampleSWF), SWFOptions{ProcsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(SliceSource(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Fatal("SliceSource round trip altered the trace")
+	}
+}

@@ -65,7 +65,8 @@ type SWFOptions struct {
 
 // ReadSWF parses an SWF trace. Jobs with unusable fields (non-positive
 // runtime or size) are skipped; the number skipped is returned. Submit
-// times are rebased so the earliest kept job submits at time 0.
+// times are rebased so the earliest kept job submits at time 0. For the
+// streaming counterpart, see NewSWFSource.
 func ReadSWF(r io.Reader, opt SWFOptions) (jobs []*job.Job, skipped int, err error) {
 	ppn := opt.ProcsPerNode
 	if ppn <= 0 {
@@ -74,69 +75,92 @@ func ReadSWF(r io.Reader, opt SWFOptions) (jobs []*job.Job, skipped int, err err
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	lineNo := 0
+	inOrder := true // detected during the parse: archive traces usually are
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, ";") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < swfFieldCount {
-			return nil, skipped, fmt.Errorf("workload: line %d: %d fields, want %d", lineNo, len(fields), swfFieldCount)
-		}
-		get := func(i int) (int64, error) {
-			return strconv.ParseInt(fields[i], 10, 64)
-		}
-		id, err := get(swfJobID)
+		j, skip, err := parseSWFLine(sc.Text(), lineNo, ppn, opt)
 		if err != nil {
-			return nil, skipped, fmt.Errorf("workload: line %d: bad job id: %v", lineNo, err)
+			return nil, skipped, err
 		}
-		submit, err := get(swfSubmit)
-		if err != nil {
-			return nil, skipped, fmt.Errorf("workload: line %d: bad submit time: %v", lineNo, err)
-		}
-		runSec, _ := get(swfRunTime)
-		reqProcs, _ := get(swfReqProcs)
-		allocProcs, _ := get(swfAllocProcs)
-		reqTime, _ := get(swfReqTime)
-		status, _ := get(swfStatus)
-		userID, _ := get(swfUserID)
-
-		procs := reqProcs
-		if procs <= 0 {
-			procs = allocProcs
-		}
-		if !opt.KeepFailed && status != 1 && status != 0 {
+		if skip {
 			skipped++
 			continue
 		}
-		if runSec <= 0 || procs <= 0 || submit < 0 {
-			skipped++
-			continue
+		if j == nil {
+			continue // comment or blank line
 		}
-		nodes := int((procs + int64(ppn) - 1) / int64(ppn))
-		if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
-			skipped++
-			continue
+		if n := len(jobs); n > 0 && inOrder {
+			prev := jobs[n-1]
+			if j.Submit < prev.Submit || (j.Submit == prev.Submit && j.ID < prev.ID) {
+				inOrder = false
+			}
 		}
-		wall := units.Duration(reqTime)
-		if wall < units.Duration(runSec) {
-			wall = units.Duration(runSec) // distrust bad estimates, never truncate runtimes
-		}
-		jobs = append(jobs, &job.Job{
-			ID:       int(id),
-			User:     "u" + strconv.FormatInt(userID, 10),
-			Submit:   units.Time(submit),
-			Nodes:    nodes,
-			Walltime: wall,
-			Runtime:  units.Duration(runSec),
-		})
+		jobs = append(jobs, j)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, skipped, fmt.Errorf("workload: reading SWF: %w", err)
 	}
-	Rebase(jobs)
+	rebase(jobs, inOrder)
 	return jobs, skipped, nil
+}
+
+// parseSWFLine parses one SWF line. It returns (nil, false, nil) for
+// comments and blank lines, (nil, true, nil) for records that are
+// syntactically valid but unusable under the options, and an error for
+// malformed records.
+func parseSWFLine(raw string, lineNo, ppn int, opt SWFOptions) (j *job.Job, skip bool, err error) {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, ";") {
+		return nil, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < swfFieldCount {
+		return nil, false, fmt.Errorf("workload: line %d: %d fields, want %d", lineNo, len(fields), swfFieldCount)
+	}
+	get := func(i int) (int64, error) {
+		return strconv.ParseInt(fields[i], 10, 64)
+	}
+	id, err := get(swfJobID)
+	if err != nil {
+		return nil, false, fmt.Errorf("workload: line %d: bad job id: %v", lineNo, err)
+	}
+	submit, err := get(swfSubmit)
+	if err != nil {
+		return nil, false, fmt.Errorf("workload: line %d: bad submit time: %v", lineNo, err)
+	}
+	runSec, _ := get(swfRunTime)
+	reqProcs, _ := get(swfReqProcs)
+	allocProcs, _ := get(swfAllocProcs)
+	reqTime, _ := get(swfReqTime)
+	status, _ := get(swfStatus)
+	userID, _ := get(swfUserID)
+
+	procs := reqProcs
+	if procs <= 0 {
+		procs = allocProcs
+	}
+	if !opt.KeepFailed && status != 1 && status != 0 {
+		return nil, true, nil
+	}
+	if runSec <= 0 || procs <= 0 || submit < 0 {
+		return nil, true, nil
+	}
+	nodes := int((procs + int64(ppn) - 1) / int64(ppn))
+	if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
+		return nil, true, nil
+	}
+	wall := units.Duration(reqTime)
+	if wall < units.Duration(runSec) {
+		wall = units.Duration(runSec) // distrust bad estimates, never truncate runtimes
+	}
+	return &job.Job{
+		ID:       int(id),
+		User:     "u" + strconv.FormatInt(userID, 10),
+		Submit:   units.Time(submit),
+		Nodes:    nodes,
+		Walltime: wall,
+		Runtime:  units.Duration(runSec),
+	}, false, nil
 }
 
 // WriteSWF renders jobs as an SWF trace. Unknown fields are written as
@@ -171,8 +195,24 @@ func WriteSWF(w io.Writer, jobs []*job.Job, header string) error {
 }
 
 // Rebase shifts submit times so the earliest job submits at 0 and sorts
-// jobs by (submit, ID).
+// jobs by (submit, ID). A trace that is already in order — the Parallel
+// Workloads Archive common case — pays one linear scan and skips the
+// O(n log n) sort.
 func Rebase(jobs []*job.Job) {
+	inOrder := true
+	for i := 1; i < len(jobs); i++ {
+		a, b := jobs[i-1], jobs[i]
+		if b.Submit < a.Submit || (b.Submit == a.Submit && b.ID < a.ID) {
+			inOrder = false
+			break
+		}
+	}
+	rebase(jobs, inOrder)
+}
+
+// rebase is Rebase with the order check hoisted to the caller (ReadSWF
+// detects order during the parse instead of rescanning).
+func rebase(jobs []*job.Job, inOrder bool) {
 	if len(jobs) == 0 {
 		return
 	}
@@ -184,6 +224,9 @@ func Rebase(jobs []*job.Job) {
 	}
 	for _, j := range jobs {
 		j.Submit -= min
+	}
+	if inOrder {
+		return
 	}
 	sort.Slice(jobs, func(a, b int) bool {
 		if jobs[a].Submit != jobs[b].Submit {

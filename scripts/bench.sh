@@ -1,31 +1,43 @@
 #!/bin/sh
 # Runs the scheduling benchmarks and writes a machine-readable summary
-# to BENCH_<n>.json (default BENCH_2.json) so perf changes are tracked
-# in-repo. The default set covers the window-search micro-benchmarks
-# and the end-to-end simulation benchmark (BenchmarkSimEndToEnd).
+# to BENCH_<n>.json (default BENCH_3.json) so perf changes are tracked
+# in-repo. The default set covers the window-search micro-benchmarks,
+# the end-to-end simulation benchmark (BenchmarkSimEndToEnd), and the
+# full-Intrepid 50k-job scale benchmark (BenchmarkSimAtScale).
 #
-# The emitted file also carries a "baseline" section: the
-# BenchmarkSimEndToEnd numbers measured at the last commit before the
-# engine-performance PR (pass elision, incremental queue, pruned
-# fairness oracle, cursor-backed metric windows), so the end-to-end
-# speedup is auditable from the artifact alone.
+# The emitted file carries two audit sections:
+#
+#   - "env": GOMAXPROCS, the worker-pool width the parallel search
+#     would use (one per CPU), and the CPU model, so cross-machine
+#     comparisons are honest (cmd/benchcompare warns on mismatch);
+#   - "baseline": the numbers measured at the last commit before the
+#     full-Intrepid scaling PR (bitset occupancy, indexed availability
+#     profiles, parallel window search, streaming traces), so the
+#     speedup is auditable from the artifact alone.
 #
 # Usage: scripts/bench.sh [output.json] [bench regex]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_2.json}
-pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd'}
+out=${1:-BENCH_3.json}
+pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale'}
 raw=$(mktemp)
 body=$(mktemp)
 trap 'rm -f "$raw" "$body"' EXIT
 
 echo "bench.sh: running go test -bench '$pattern' ..." >&2
-go test -run '^$' -bench "$pattern" -benchmem -count 1 . | tee "$raw" >&2
+# Three repetitions per benchmark; the awk pass below keeps the best
+# (minimum ns/op) draw per name. On a shared 1-CPU box background load
+# only ever adds time, so min-of-N is the low-noise estimator.
+go test -run '^$' -bench "$pattern" -benchmem -count 3 . | tee "$raw" >&2
 
 goversion=$(go env GOVERSION)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+gomaxprocs=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+workers=$(nproc 2>/dev/null || echo 1)
+cpumodel=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
+[ -n "$cpumodel" ] || cpumodel=unknown
 
 awk '
 /^Benchmark/ {
@@ -44,11 +56,16 @@ awk '
     if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
     line = line "}"
-    benches[++n] = line
+    # -count N repeats each benchmark; keep the best (min ns/op) draw.
+    if (!(name in best) || ns + 0 < bestNs[name]) {
+        if (!(name in best)) order[++n] = name
+        best[name] = line
+        bestNs[name] = ns + 0
+    }
 }
 END {
     for (i = 1; i <= n; i++)
-        printf "%s%s\n", benches[i], (i < n ? "," : "")
+        printf "%s%s\n", best[order[i]], (i < n ? "," : "")
 }
 ' "$raw" >"$body"
 
@@ -56,14 +73,20 @@ END {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$stamp"
 	printf '  "go": "%s",\n' "$goversion"
+	printf '  "env": {\n'
+	printf '    "gomaxprocs": %s,\n' "$gomaxprocs"
+	printf '    "search_workers": %s,\n' "$workers"
+	printf '    "cpu": "%s"\n' "$cpumodel"
+	printf '  },\n'
 	cat <<'EOF'
   "baseline": {
-    "note": "BenchmarkSimEndToEnd before the engine-performance work (commit 7e26e14), same machine class",
+    "note": "before the full-Intrepid scaling work (commit 7320e7d, serial search), same machine class",
     "benchmarks": [
-      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 8410071, "jobs_per_sec": 30321, "bytes_per_op": 1483857, "allocs_per_op": 25633},
-      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 40668667, "jobs_per_sec": 6270, "bytes_per_op": 6668208, "allocs_per_op": 106329},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 212707283, "jobs_per_sec": 1199, "bytes_per_op": 61223651, "allocs_per_op": 1171504},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 2072497783, "jobs_per_sec": 123.0, "bytes_per_op": 492637240, "allocs_per_op": 10693755}
+      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 4149747227, "jobs_per_sec": 12049, "bytes_per_op": 786992960, "allocs_per_op": 15327953},
+      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 3249491, "jobs_per_sec": 78474, "bytes_per_op": 644862, "allocs_per_op": 11163},
+      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 21191637, "jobs_per_sec": 12033, "bytes_per_op": 3419715, "allocs_per_op": 66995},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 37924637, "jobs_per_sec": 6724, "bytes_per_op": 18396614, "allocs_per_op": 250946},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 199123452, "jobs_per_sec": 1281, "bytes_per_op": 59355669, "allocs_per_op": 1317755}
     ]
   },
 EOF
