@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke verify bench bench-compare clean
+.PHONY: all build test race vet bench-smoke verify bench bench-compare run-daemon clean
 
 all: build
 
@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # race exercises the concurrent paths (the branch-parallel window
-# search and the engines driving it) under the race detector.
+# search, the engines driving it, and the daemon's wall-clock loop)
+# under the race detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sim ./internal/parallel
+	$(GO) test -race ./internal/core ./internal/sim ./internal/parallel ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,12 @@ bench:
 # 20% ns/op (see cmd/benchcompare).
 bench-compare:
 	$(GO) run ./cmd/benchcompare BENCH_2.json BENCH_3.json
+
+# run-daemon boots a local scheduling daemon at 60x wall speed on the
+# 512-node synthetic machine; see README "Running the daemon".
+run-daemon:
+	$(GO) run ./cmd/amjsd -addr 127.0.0.1:8080 -machine flat:512 \
+		-policy adaptive:2d:1000 -speedup 60
 
 clean:
 	rm -f amjs.test cpu.prof mem.prof

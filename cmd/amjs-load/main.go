@@ -1,0 +1,233 @@
+// Command amjs-load replays an SWF trace against a running amjsd
+// daemon: it streams the trace, POSTs each job from a pool of
+// concurrent workers at a chosen acceleration, and reports submission
+// throughput and latency percentiles.
+//
+// Examples:
+//
+//	amjs-load -addr http://127.0.0.1:8080 -trace sample
+//	amjs-load -trace intrepid.swf -accel 3600 -workers 4
+//	amjs-load -trace intrepid.swf -max 10000 -workers 16   # as fast as possible
+//
+// With -accel 0 (the default) jobs are submitted back to back — a load
+// test. A positive acceleration paces submissions on the trace's
+// inter-arrival gaps compressed by that factor; pair it with a daemon
+// running at the same -speedup to replay a trace in miniature real
+// time. -trace-times forwards the trace's submit instants in the
+// request body, which a speedup=inf daemon honors verbatim (requires
+// -workers 1 to keep them monotonic).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"amjs/internal/job"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "amjs-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// summary aggregates one replay.
+type summary struct {
+	Jobs      int
+	Errors    int
+	Skipped   int
+	WallSec   float64
+	PerSec    float64
+	P50, P90  float64 // milliseconds
+	P99, Max  float64
+	FirstErrs []string
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("amjs-load", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "http://127.0.0.1:8080", "amjsd base URL")
+		trace      = fs.String("trace", "sample", `trace: "sample" or an SWF file path`)
+		accel      = fs.Float64("accel", 0, "replay acceleration over trace inter-arrival gaps (0 = no pacing, full speed)")
+		workers    = fs.Int("workers", 8, "concurrent submitters")
+		max        = fs.Int("max", 0, "cap the number of jobs (0 = whole trace)")
+		ppn        = fs.Int("ppn", 1, "processors per node in the trace")
+		traceTimes = fs.Bool("trace-times", false, "forward trace submit times (speedup=inf daemon, single worker)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("need at least one worker")
+	}
+	if *traceTimes && *workers != 1 {
+		return fmt.Errorf("-trace-times requires -workers 1 (submit times must stay monotonic)")
+	}
+
+	var r io.Reader
+	name := *trace
+	if name == "sample" {
+		r = strings.NewReader(workload.SampleSWF)
+	} else {
+		f, err := os.Open(strings.TrimPrefix(name, "swf:"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	src := workload.NewSWFSource(r, workload.SWFOptions{
+		Source:       name,
+		ProcsPerNode: *ppn,
+	}, 0)
+
+	s, err := replay(*addr, src, *accel, *workers, *max, *traceTimes)
+	if err != nil {
+		return err
+	}
+	s.Skipped = src.Skipped()
+	report(out, name, s)
+	return nil
+}
+
+// replay streams jobs from src to the daemon and measures each POST.
+func replay(baseURL string, src *workload.SWFSource, accel float64, workers, max int, traceTimes bool) (*summary, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	jobs := make(chan *job.Job, workers*2)
+	type obs struct {
+		lat []float64 // milliseconds
+		err []string
+	}
+	results := make([]obs, workers)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &results[w]
+			for j := range jobs {
+				req := map[string]any{
+					"user":         j.User,
+					"nodes":        j.Nodes,
+					"walltime_sec": int64(j.Walltime),
+					"runtime_sec":  int64(j.Runtime),
+				}
+				if traceTimes {
+					req["submit_sec"] = int64(j.Submit)
+				}
+				body, _ := json.Marshal(req)
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0).Seconds() * 1000
+				if err != nil {
+					o.err = append(o.err, err.Error())
+					continue
+				}
+				if resp.StatusCode != http.StatusCreated {
+					msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+					o.err = append(o.err, fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg)))
+				} else {
+					o.lat = append(o.lat, lat)
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	// Producer: stream the trace, pacing on compressed inter-arrival
+	// gaps when an acceleration is set.
+	var produceErr error
+	sent := 0
+	var traceStart units.Time
+	first := true
+	for max <= 0 || sent < max {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			produceErr = err
+			break
+		}
+		if first {
+			traceStart, first = j.Submit, false
+		}
+		if accel > 0 {
+			due := start.Add(time.Duration(float64(j.Submit.Sub(traceStart)) / accel * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		jobs <- j
+		sent++
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if produceErr != nil {
+		return nil, produceErr
+	}
+
+	var lats []float64
+	s := &summary{Jobs: sent, WallSec: wall}
+	for _, o := range results {
+		lats = append(lats, o.lat...)
+		s.Errors += len(o.err)
+		for _, e := range o.err {
+			if len(s.FirstErrs) < 3 {
+				s.FirstErrs = append(s.FirstErrs, e)
+			}
+		}
+	}
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		s.PerSec = float64(n) / wall
+		s.P50 = percentile(lats, 0.50)
+		s.P90 = percentile(lats, 0.90)
+		s.P99 = percentile(lats, 0.99)
+		s.Max = lats[n-1]
+	}
+	return s, nil
+}
+
+// percentile reads the q-quantile from a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func report(out io.Writer, name string, s *summary) {
+	fmt.Fprintf(out, "trace:      %s (%d jobs, %d skipped)\n", name, s.Jobs, s.Skipped)
+	fmt.Fprintf(out, "submitted:  %d ok, %d errors in %.2f s (%.0f submissions/s)\n",
+		s.Jobs-s.Errors, s.Errors, s.WallSec, s.PerSec)
+	fmt.Fprintf(out, "latency:    p50 %.2f ms  p90 %.2f ms  p99 %.2f ms  max %.2f ms\n",
+		s.P50, s.P90, s.P99, s.Max)
+	for _, e := range s.FirstErrs {
+		fmt.Fprintf(out, "error:      %s\n", e)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/server"
+	"amjs/internal/workload"
+)
+
+// bootDaemon starts an in-process speedup=∞ daemon behind a loopback
+// HTTP server.
+func bootDaemon(t *testing.T, nodes int) (*server.Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := server.New(server.Config{
+		Machine:   machine.NewFlat(nodes),
+		Scheduler: sched.NewEASY(),
+		Speedup:   math.Inf(1),
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.NewAPI(d))
+	t.Cleanup(func() { srv.Close(); d.Close() })
+	return d, srv
+}
+
+// synthSWF renders n monotone one-per-second SWF records.
+func synthSWF(n int) string {
+	var b strings.Builder
+	b.WriteString("; synthetic load trace\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "%d %d -1 600 64 -1 -1 64 900 -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			i, i, i%17)
+	}
+	return b.String()
+}
+
+// Replaying 10k SWF jobs against a loopback daemon must sustain at
+// least 5k submissions/sec and report a latency distribution — the
+// load driver's acceptance bar.
+func TestReplayThroughput(t *testing.T) {
+	const jobs = 10000
+	_, srv := bootDaemon(t, 512)
+	src := workload.NewSWFSource(strings.NewReader(synthSWF(jobs)), workload.SWFOptions{Source: "synth"}, 0)
+
+	s, err := replay(srv.URL, src, 0, 16, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != jobs || s.Errors != 0 {
+		t.Fatalf("replay: %d jobs, %d errors (want %d, 0): %v", s.Jobs, s.Errors, jobs, s.FirstErrs)
+	}
+	t.Logf("throughput %.0f submissions/s, p50 %.2fms p99 %.2fms max %.2fms",
+		s.PerSec, s.P50, s.P99, s.Max)
+	if s.PerSec < 5000 {
+		t.Errorf("sustained %.0f submissions/s, want >= 5000", s.PerSec)
+	}
+	if s.P99 <= 0 || s.P99 < s.P50 || s.Max < s.P99 {
+		t.Errorf("implausible latency distribution: p50 %v p99 %v max %v", s.P50, s.P99, s.Max)
+	}
+}
+
+// The full CLI path on the bundled sample trace: single worker with
+// trace times forwarded, then drain via the run() report path.
+func TestRunSampleTrace(t *testing.T) {
+	d, srv := bootDaemon(t, 512)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", srv.URL,
+		"-trace", "sample",
+		"-workers", "1",
+		"-trace-times",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"10 ok, 0 errors", "p99"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if _, err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Job(10)
+	if err != nil || st.State != "finished" {
+		t.Fatalf("job 10 after drain: %+v, %v", st, err)
+	}
+	// Trace times forwarded: the sample's job 2 submits at t=60.
+	st2, _ := d.Job(2)
+	if st2.SubmitSec != 60 {
+		t.Errorf("job 2 submit = %d, want 60 (trace time forwarded)", st2.SubmitSec)
+	}
+}
+
+// Flag validation: trace-times with a worker pool is a usage error.
+func TestRunRejectsUnsafeFlags(t *testing.T) {
+	if err := run([]string{"-trace-times", "-workers", "4"}, io.Discard); err == nil {
+		t.Fatal("want usage error for -trace-times with multiple workers")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// addrCapture extracts the bound address from the announce line.
+type addrCapture struct {
+	buf  bytes.Buffer
+	addr chan string
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+func (a *addrCapture) Write(p []byte) (int, error) {
+	a.buf.Write(p)
+	if m := addrRe.FindSubmatch(a.buf.Bytes()); m != nil {
+		select {
+		case a.addr <- string(m[1]):
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+// Boot the daemon on a random port, submit one job over HTTP, poll it
+// to completion, and shut down gracefully.
+func TestDaemonSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cap := &addrCapture{addr: make(chan string, 1)}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-machine", "flat:64",
+			"-policy", "easy",
+			"-speedup", "3600",
+			"-tick", "5ms",
+			"-period", "0s",
+		}, cap)
+	}()
+
+	var base string
+	select {
+	case addr := <-cap.addr:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before announcing: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"user":"smoke","nodes":8,"walltime_sec":600,"runtime_sec":600}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    int    `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.ID != 1 {
+		t.Fatalf("submit: status %d, id %d", resp.StatusCode, st.ID)
+	}
+
+	// 600 virtual seconds at speedup 3600 is ~170ms of wall time; give
+	// the loaded CI machine a generous deadline.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "finished" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q at the deadline", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestParseSpeedup(t *testing.T) {
+	v, err := parseSpeedup("inf")
+	if err != nil || !math.IsInf(v, 1) {
+		t.Fatalf("parseSpeedup(inf) = %v, %v", v, err)
+	}
+	if _, err := parseSpeedup("-3"); err == nil {
+		t.Error("negative speedup accepted")
+	}
+	if _, err := parseSpeedup("abc"); err == nil {
+		t.Error("non-numeric speedup accepted")
+	}
+	if v, err := parseSpeedup("60"); err != nil || v != 60 {
+		t.Errorf("parseSpeedup(60) = %v, %v", v, err)
+	}
+}

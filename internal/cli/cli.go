@@ -88,7 +88,7 @@ func ParseWorkload(spec string, seed int64, maxJobs int) ([]*job.Job, string, er
 			return nil, "", fmt.Errorf("cli: %w", err)
 		}
 		defer f.Close()
-		jobs, skipped, err := workload.ReadSWF(f, workload.SWFOptions{})
+		jobs, skipped, err := workload.ReadSWF(f, workload.SWFOptions{Source: path})
 		if err != nil {
 			return nil, "", err
 		}

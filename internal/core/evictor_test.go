@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"amjs/internal/sched"
+)
+
+// Compile-time: both schedulers implement the engine's eviction hook.
+var (
+	_ sched.Evictor = (*MetricAware)(nil)
+	_ sched.Evictor = (*Tuner)(nil)
+)
+
+// JobRemoved must drop the protected reservation when its holder is
+// cancelled, and leave it alone for any other job.
+func TestJobRemovedClearsReservation(t *testing.T) {
+	s := NewMetricAware(0.5, 5)
+	s.reservedID = 7
+	s.JobRemoved(3)
+	if s.reservedID != 7 {
+		t.Fatalf("reservation of job 7 dropped by removal of job 3")
+	}
+	s.JobRemoved(7)
+	if s.reservedID != 0 {
+		t.Fatalf("reservedID = %d after removing its holder, want 0", s.reservedID)
+	}
+}
+
+// The Tuner forwards eviction to the wrapped scheduler.
+func TestTunerForwardsJobRemoved(t *testing.T) {
+	tn := NewTuner(PaperBFScheme(1000))
+	tn.base.reservedID = 7
+	tn.JobRemoved(7)
+	if tn.base.reservedID != 0 {
+		t.Fatalf("tuner did not forward JobRemoved to its base scheduler")
+	}
+}

@@ -166,6 +166,18 @@ func (s *MetricAware) AdoptScratch(from sched.Scheduler) {
 // engine's checkpoint series and driven by the adaptive Tuner).
 func (s *MetricAware) Tunables() (bf float64, w int) { return s.BF, s.W }
 
+// JobRemoved implements sched.Evictor: when a queued job is withdrawn
+// (cancelled) without starting, the persistent protected reservation is
+// released if that job held it, so the next pass re-grants protection
+// from the live queue instead of re-committing a phantom. The
+// window-search incumbent needs no invalidation here — it is pass-local
+// scratch that never outlives a Schedule call.
+func (s *MetricAware) JobRemoved(id int) {
+	if s.reservedID == id {
+		s.reservedID = 0
+	}
+}
+
 // placement is one job's slot in a tentative window schedule.
 type placement struct {
 	j     *job.Job

@@ -211,6 +211,10 @@ func (t *Tuner) AdoptScratch(from sched.Scheduler) {
 	}
 }
 
+// JobRemoved implements sched.Evictor by forwarding to the wrapped
+// scheduler, which may hold a protected reservation for the job.
+func (t *Tuner) JobRemoved(id int) { t.base.JobRemoved(id) }
+
 // Checkpoint implements sched.Adaptive.
 func (t *Tuner) Checkpoint(env sched.Env, m sched.MetricsView) {
 	for _, s := range t.schemes {

@@ -19,6 +19,7 @@ const (
 	Running                // allocated and executing
 	Finished               // completed within its walltime
 	Killed                 // terminated at the walltime limit
+	Cancelled              // withdrawn by the user before it started
 )
 
 // String returns the state name.
@@ -34,6 +35,8 @@ func (s State) String() string {
 		return "finished"
 	case Killed:
 		return "killed"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}

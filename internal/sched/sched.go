@@ -82,6 +82,17 @@ type Adaptive interface {
 	Checkpoint(env Env, m MetricsView)
 }
 
+// Evictor is implemented by schedulers that carry per-job state across
+// scheduling passes (a persistent protected reservation, a window
+// incumbent). The environment calls JobRemoved when a queued job leaves
+// the system other than by starting — cancellation, today — so that no
+// stale reservation referencing the departed job can survive into a
+// later pass and delay backfill. Policies that rebuild all reservation
+// state from the queue every pass need not implement it.
+type Evictor interface {
+	JobRemoved(id int)
+}
+
 // Order sorts a queue snapshot into scheduling order (most urgent
 // first), returning a new slice. Implementations must be deterministic;
 // ties are conventionally broken by submission time then ID.

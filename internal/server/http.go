@@ -1,0 +1,226 @@
+// HTTP front end: JSON routes over the Daemon, request logging,
+// per-route latency histograms, and the Prometheus scrape endpoint.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"amjs/internal/sim"
+)
+
+// API is the daemon's HTTP surface. Build one with NewAPI and mount it
+// as an http.Handler.
+type API struct {
+	d   *Daemon
+	log *slog.Logger
+	mux *http.ServeMux
+
+	requests *counterVec
+	latency  *histogramVec
+}
+
+// NewAPI wires the routes over a daemon.
+func NewAPI(d *Daemon) *API {
+	a := &API{
+		d:   d,
+		log: d.log,
+		mux: http.NewServeMux(),
+		requests: newCounterVec("amjsd_http_requests_total",
+			"HTTP requests served, by route, method, and status code.",
+			"route", "method", "code"),
+		latency: newHistogramVec("amjsd_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.",
+			"route", defaultLatencyBuckets),
+	}
+	a.handle("POST /v1/jobs", "/v1/jobs", a.submitJob)
+	a.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", a.getJob)
+	a.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", a.deleteJob)
+	a.handle("GET /v1/queue", "/v1/queue", a.getQueue)
+	a.handle("GET /v1/machine", "/v1/machine", a.getMachine)
+	a.handle("POST /v1/drain", "/v1/drain", a.drain)
+	a.handle("GET /metrics", "/metrics", a.metrics)
+	a.handle("GET /healthz", "/healthz", a.healthz)
+	a.handle("GET /readyz", "/readyz", a.readyz)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// handle mounts a handler with logging and latency instrumentation.
+// route is the normalized label (wildcards, not values) so the metric
+// cardinality stays bounded.
+func (a *API) handle(pattern, route string, h http.HandlerFunc) {
+	a.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		a.requests.inc(route, r.Method, strconv.Itoa(rec.code))
+		a.latency.observe(elapsed.Seconds(), route)
+		a.log.Info("http",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.code, "dur", elapsed.Round(time.Microsecond))
+	})
+}
+
+// writeJSON renders v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	st, err := a.d.Submit(req)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+strconv.Itoa(st.ID))
+		writeJSON(w, http.StatusCreated, st)
+	case errors.Is(err, sim.ErrRejected):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// jobID extracts and validates the {id} path segment.
+func jobID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id <= 0 {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+func (a *API) getJob(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := a.d.Job(id)
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, "job %d not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *API) deleteJob(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	err := a.d.Cancel(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "job %d not found", id)
+	case errors.Is(err, ErrNotCancellable):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (a *API) getQueue(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.d.Queue())
+}
+
+func (a *API) getMachine(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.d.Machine())
+}
+
+func (a *API) drain(w http.ResponseWriter, r *http.Request) {
+	now, err := a.d.Drain()
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"now_sec": now})
+}
+
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	s := a.d.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	gauges := []gauge{
+		{"amjsd_virtual_time_seconds", "Current virtual time of the scheduling session.", float64(s.VirtualSec)},
+		{"amjsd_utilization", "Fraction of machine nodes used by running jobs.", s.Utilization},
+		{"amjsd_queue_jobs", "Number of jobs waiting in the queue.", float64(s.QueueJobs)},
+		{"amjsd_queue_depth_minutes", "Queue depth in minutes (the paper's metric).", s.QueueDepthMinutes},
+		{"amjsd_running_jobs", "Number of jobs currently executing.", float64(s.RunningJobs)},
+		{"amjsd_jobs_accepted_total", "Jobs accepted since start.", float64(s.Accepted)},
+		{"amjsd_jobs_rejected_total", "Jobs rejected as never fitting the machine.", float64(s.Rejected)},
+		{"amjsd_jobs_cancelled_total", "Jobs cancelled before starting.", float64(s.Cancelled)},
+		{"amjsd_jobs_finished_total", "Jobs completed within their walltime.", float64(s.Finished)},
+		{"amjsd_jobs_killed_total", "Jobs terminated at their walltime limit.", float64(s.Killed)},
+	}
+	if s.HasTunables {
+		gauges = append(gauges,
+			gauge{"amjsd_balance_factor", "Current metric-aware balance factor (BF).", s.BF},
+			gauge{"amjsd_window_size", "Current metric-aware window size (W).", float64(s.W)},
+		)
+	}
+	writeGauges(w, gauges)
+	a.requests.write(w)
+	a.latency.write(w)
+}
+
+func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *API) readyz(w http.ResponseWriter, r *http.Request) {
+	if !a.d.Ready() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,181 @@
+// Minimal Prometheus text-exposition (format 0.0.4) primitives. The
+// daemon exposes a handful of counters, gauges, and latency histograms;
+// pulling in a client library for that would be the repo's first
+// external dependency, so the three metric kinds are implemented here
+// directly against the documented wire format.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// counterVec is a monotonically increasing counter partitioned by a
+// fixed label set.
+type counterVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu   sync.Mutex
+	vals map[string]float64 // serialized label values -> count
+}
+
+func newCounterVec(name, help string, labels ...string) *counterVec {
+	return &counterVec{name: name, help: help, labels: labels, vals: make(map[string]float64)}
+}
+
+// labelKey serializes label values with a separator no sane label value
+// contains.
+func labelKey(values []string) string { return strings.Join(values, "\x00") }
+
+func (c *counterVec) add(delta float64, values ...string) {
+	if len(values) != len(c.labels) {
+		panic(fmt.Sprintf("server: counter %s: %d label values, want %d", c.name, len(values), len(c.labels)))
+	}
+	c.mu.Lock()
+	c.vals[labelKey(values)] += delta
+	c.mu.Unlock()
+}
+
+func (c *counterVec) inc(values ...string) { c.add(1, values...) }
+
+func (c *counterVec) write(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s%s %g\n", c.name, formatLabels(c.labels, strings.Split(k, "\x00")), c.vals[k])
+	}
+	c.mu.Unlock()
+}
+
+// histogramVec is a cumulative-bucket latency histogram partitioned by
+// a single label (the HTTP route).
+type histogramVec struct {
+	name    string
+	help    string
+	label   string
+	buckets []float64 // upper bounds, ascending; +Inf is implicit
+
+	mu    sync.Mutex
+	cells map[string]*histCell
+}
+
+type histCell struct {
+	counts []uint64 // one per bucket
+	inf    uint64
+	sum    float64
+}
+
+// defaultLatencyBuckets spans 100µs to 2.5s — the range a local JSON
+// API plausibly occupies.
+var defaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+func newHistogramVec(name, help, label string, buckets []float64) *histogramVec {
+	return &histogramVec{name: name, help: help, label: label, buckets: buckets, cells: make(map[string]*histCell)}
+}
+
+func (h *histogramVec) observe(value float64, labelValue string) {
+	h.mu.Lock()
+	cell := h.cells[labelValue]
+	if cell == nil {
+		cell = &histCell{counts: make([]uint64, len(h.buckets))}
+		h.cells[labelValue] = cell
+	}
+	for i, ub := range h.buckets {
+		if value <= ub {
+			cell.counts[i]++
+		}
+	}
+	cell.inf++
+	cell.sum += value
+	h.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (0..1) across every cell from the
+// cumulative buckets, attributing each observation to its bucket's
+// upper bound — the standard Prometheus histogram_quantile estimate,
+// computed client-side for run summaries.
+func (h *histogramVec) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total uint64
+	merged := make([]uint64, len(h.buckets))
+	for _, cell := range h.cells {
+		for i, c := range cell.counts {
+			merged[i] += c
+		}
+		total += cell.inf
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	for i, c := range merged {
+		if c > rank {
+			return h.buckets[i]
+		}
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
+func (h *histogramVec) write(w io.Writer) {
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.cells))
+	for k := range h.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	for _, k := range keys {
+		cell := h.cells[k]
+		for i, ub := range h.buckets {
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", h.name, h.label, k, formatFloat(ub), cell.counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", h.name, h.label, k, cell.inf)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", h.name, h.label, k, cell.sum)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", h.name, h.label, k, cell.inf)
+	}
+	h.mu.Unlock()
+}
+
+// gauge is one named sample collected at scrape time.
+type gauge struct {
+	name  string
+	help  string
+	value float64
+}
+
+func writeGauges(w io.Writer, gs []gauge) {
+	for _, g := range gs {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}
+
+func formatLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%q", n, values[i])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a bucket bound the way Prometheus expects
+// (shortest representation, no exponent for the usual range).
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

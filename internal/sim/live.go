@@ -1,0 +1,277 @@
+// Live is the interactive face of the simulation engine: the same
+// event loop Run and RunStream drive, exposed as an open session into
+// which a caller injects submissions one at a time, cancels waiting
+// jobs, and advances virtual time incrementally. It is the engine the
+// amjsd daemon hosts behind its HTTP API.
+//
+// Equivalence with the batch engine is by construction, not
+// reimplementation: Live shares engine.step with Run, and its Submit
+// path reproduces RunStream's injection contract (every arrival at an
+// instant T is in the event heap before T is drained, in submission
+// order). A session of Submit calls followed by Drain therefore yields
+// the bit-identical schedule Run produces on the collected trace — the
+// property TestLiveEquivalence pins.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/metrics"
+	"amjs/internal/units"
+)
+
+// ErrRejected marks a submission whose node request can never be
+// satisfied by the machine, matching the batch engine's screening of
+// impossible jobs at arrival.
+var ErrRejected = errors.New("sim: job can never fit the machine")
+
+// Live is one open scheduling session. It is not safe for concurrent
+// use; callers (the daemon) serialize access.
+type Live struct {
+	e    *engine
+	jobs map[int]*job.Job // accepted jobs by ID (the engine's clones)
+
+	lastSubmit units.Time
+	haveAny    bool
+
+	accepted  int
+	rejected  int
+	cancelled int
+}
+
+// NewLive opens a live session under the configuration. Config fields
+// have the same meaning as for Run; lean switches the collector to
+// streaming aggregation (see Collector.SetLean) so an arbitrarily
+// long-lived session keeps bounded metric state — leave it off when the
+// full checkpoint series are wanted (tests, short replays).
+func NewLive(cfg Config, lean bool) (*Live, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("sim: no machine configured")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: no scheduler configured")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = DefaultCheckInterval
+	}
+	if cfg.FairnessTolerance <= 0 {
+		cfg.FairnessTolerance = DefaultFairnessTolerance
+	}
+	m := cfg.Machine.Clone()
+	e := &engine{
+		cfg:        cfg,
+		machine:    m,
+		scheduler:  cfg.Scheduler.Clone(),
+		running:    make(map[*job.Job]machine.Alloc),
+		collector:  metrics.NewCollector(m.TotalNodes()),
+		fairStarts: make(map[int]units.Time),
+		dirty:      true,
+		keepGrids:  true,
+	}
+	if lean {
+		e.collector.SetLean(leanRetention)
+	}
+	return &Live{e: e, jobs: make(map[int]*job.Job)}, nil
+}
+
+// Submit accepts a job into the session. The job is cloned; the
+// caller's copy is not mutated. It must carry a unique positive ID and
+// a submit time no earlier than the last submission's and no earlier
+// than the last processed instant — the nondecreasing-submit contract
+// every trace source already obeys. Submit advances the engine through
+// every instant strictly before the job's submit time (so the arrival
+// lands in the heap before its own instant is drained, exactly as
+// RunStream injects), then enqueues the arrival; the instant itself is
+// processed by a later Submit, AdvanceTo, or Drain.
+//
+// The returned job is the engine's live clone: its State/Start/End
+// fields update as the session progresses. ErrRejected reports a
+// request that can never fit the machine.
+func (l *Live) Submit(src *job.Job) (*job.Job, error) {
+	if err := src.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: submitted job: %w", err)
+	}
+	if _, dup := l.jobs[src.ID]; dup {
+		return nil, fmt.Errorf("sim: duplicate job ID %d", src.ID)
+	}
+	if l.haveAny && src.Submit < l.lastSubmit {
+		return nil, fmt.Errorf("sim: job %d submits at %v, before the previous submission at %v",
+			src.ID, src.Submit, l.lastSubmit)
+	}
+	if src.Submit < l.e.now {
+		return nil, fmt.Errorf("sim: job %d submits at %v, before the processed horizon %v",
+			src.ID, src.Submit, l.e.now)
+	}
+	j := src.Clone()
+	j.State = job.Submitted
+	if !l.e.machine.CanFitEver(j.Nodes) {
+		l.rejected++
+		return nil, ErrRejected
+	}
+	if err := l.advance(j.Submit, false); err != nil {
+		return nil, err
+	}
+	if l.e.events.Len() == 0 {
+		// First submission ever, or the first after a Drain wound the
+		// grids down: anchor the checkpoint grid (and, in periodic mode,
+		// the tick grid) at this submission, as the batch engine does at
+		// its first accepted job.
+		l.e.events.Push(j.Submit.Add(l.e.cfg.CheckInterval), evCheckpoint, nil)
+		if l.e.cfg.SchedulePeriod > 0 {
+			l.e.events.Push(j.Submit, evTick, nil)
+		}
+	}
+	l.e.events.Push(j.Submit, evArrive, j)
+	l.jobs[j.ID] = j
+	l.lastSubmit, l.haveAny = j.Submit, true
+	l.accepted++
+	return j, nil
+}
+
+// Cancel withdraws a job that has not started. It returns false when
+// the ID is unknown or the job already started (running or completed
+// jobs cannot be cancelled). A job cancelled between submission and its
+// arrival instant never enters the queue at all.
+func (l *Live) Cancel(id int) bool {
+	j, ok := l.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.State {
+	case job.Submitted:
+		// Arrival still pending in the heap; the arrival handler drops
+		// cancelled jobs, so flagging the state is enough.
+		j.State = job.Cancelled
+	case job.Queued:
+		l.e.cancelQueued(j)
+	default:
+		return false
+	}
+	l.cancelled++
+	return true
+}
+
+// AdvanceTo processes every pending instant at or before t — the
+// wall-clock ticker's entry point. Virtual time beyond the last event
+// does not itself move the engine clock; Now still reports the last
+// processed instant.
+func (l *Live) AdvanceTo(t units.Time) error {
+	return l.advance(t, true)
+}
+
+// advance processes pending instants up to t, inclusively or not.
+func (l *Live) advance(t units.Time, inclusive bool) error {
+	l.e.processed = 0
+	for {
+		it, ok := l.e.events.Peek()
+		if !ok || it.Time > t || (!inclusive && it.Time == t) {
+			return nil
+		}
+		if _, err := l.e.step(); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain runs the session to quiescence: every pending arrival,
+// completion, tick, and checkpoint is processed and the monitoring
+// grids wind down exactly as a batch run's do (keepGrids is suspended,
+// so the final checkpoint after the last completion fires and does not
+// re-arm — Run's termination, byte for byte). This is the speedup=∞
+// semantics of the daemon: submit a whole trace, then Drain, and the
+// resulting schedule is identical to Run's. The session remains usable
+// afterwards; a later Submit re-anchors the grids.
+func (l *Live) Drain() error {
+	l.e.keepGrids = false
+	err := l.e.run(nil)
+	l.e.keepGrids = true
+	return err
+}
+
+// Now reports the last processed instant of virtual time.
+func (l *Live) Now() units.Time { return l.e.now }
+
+// Job looks up an accepted job by ID. The returned job is the engine's
+// live clone; treat it as read-only.
+func (l *Live) Job(id int) (*job.Job, bool) {
+	j, ok := l.jobs[id]
+	return j, ok
+}
+
+// Queue returns the waiting jobs in arrival order as a fresh copy.
+func (l *Live) Queue() []*job.Job {
+	return append([]*job.Job(nil), l.e.queue.jobs()...)
+}
+
+// QueueLen reports the number of waiting jobs.
+func (l *Live) QueueLen() int { return l.e.queue.len() }
+
+// RunningLen reports the number of executing jobs.
+func (l *Live) RunningLen() int { return len(l.e.running) }
+
+// Machine exposes the session's machine for occupancy snapshots.
+// Callers must treat it as read-only: starts and releases belong to the
+// engine alone.
+func (l *Live) Machine() machine.Machine { return l.e.machine }
+
+// Collector exposes the session's metrics collector (read-only).
+func (l *Live) Collector() *metrics.Collector { return l.e.collector }
+
+// QueueDepthMinutes reports the paper's queue-depth metric at the
+// current instant.
+func (l *Live) QueueDepthMinutes() float64 {
+	return metrics.QueueDepthMinutes(l.e.now, l.e.queue.jobs())
+}
+
+// Tunables reports the scheduler's current BF/W when it exposes them.
+func (l *Live) Tunables() (bf float64, w int, ok bool) {
+	bf, w, ok = l.e.tunables()
+	return
+}
+
+// PredictStart estimates when a job will start. For a started job it is
+// the actual start; for a waiting job it is the earliest instant the
+// current machine state (running jobs at their walltime bounds, no
+// queued-ahead competitors) could fit it — an optimistic bound, the
+// "predicted start" the job API reports next to the actual one. ok is
+// false for unknown or cancelled jobs.
+func (l *Live) PredictStart(id int) (units.Time, bool) {
+	j, ok := l.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	switch j.State {
+	case job.Running, job.Finished, job.Killed:
+		return j.Start, true
+	case job.Cancelled:
+		return 0, false
+	}
+	ts, _ := l.e.machine.Plan(l.e.now).EarliestStart(j.Nodes, j.Walltime)
+	if ts == units.Forever {
+		return 0, false
+	}
+	if ts < j.Submit {
+		ts = j.Submit
+	}
+	return ts, true
+}
+
+// States tallies the session's accepted jobs by their current state.
+func (l *Live) States() map[job.State]int {
+	out := make(map[job.State]int, 6)
+	for _, j := range l.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// Accepted, Rejected, and Cancelled report the session's job census.
+func (l *Live) Accepted() int  { return l.accepted }
+func (l *Live) Rejected() int  { return l.rejected }
+func (l *Live) Cancelled() int { return l.cancelled }
+
+// PolicyName reports the hosted scheduler's configured name.
+func (l *Live) PolicyName() string { return l.e.scheduler.Name() }

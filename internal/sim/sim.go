@@ -216,8 +216,17 @@ type engine struct {
 	running    map[*job.Job]machine.Alloc
 	collector  *metrics.Collector
 	fairStarts map[int]units.Time
-	sub        bool // nested fairness simulation: no checkpoints, no oracle
+	sub        bool         // nested fairness simulation: no checkpoints, no oracle
 	stream     *streamState // non-nil when arrivals come from a JobSource (RunStream)
+	processed  int          // events handled since the last counter reset (livelock guard)
+
+	// keepGrids keeps the checkpoint and tick grids armed even when the
+	// system drains empty. Batch runs leave it false — their grids wind
+	// down with the pre-pushed arrivals — but a Live engine has no idea
+	// whether more submissions are coming, so its monitors must keep
+	// ticking across idle stretches. Live.Drain clears it temporarily to
+	// reproduce batch termination exactly.
+	keepGrids bool
 
 	// Pass-elision state (see run): dirty records whether anything
 	// schedule-relevant happened since the last executed scheduling
@@ -244,7 +253,7 @@ type scratchAdopter interface {
 // run drives the event loop until no events remain or stop returns true
 // (used by nested simulations to halt once the target job starts).
 func (e *engine) run(stop func() bool) error {
-	processed := 0
+	e.processed = 0
 	for {
 		if stop != nil && stop() {
 			return nil
@@ -254,125 +263,158 @@ func (e *engine) run(stop func() bool) error {
 				return err
 			}
 		}
-		next, ok := e.events.Peek()
-		if !ok {
-			return nil
-		}
-		e.now = next.Time
-		checkpoint := false
-		tick := false
-		e.arrived = e.arrived[:0]
-
-		// Drain every event at this instant before scheduling once.
-		for {
-			it, ok := e.events.Peek()
-			if !ok || it.Time != e.now {
-				break
-			}
-			it, _ = e.events.Pop()
-			processed++
-			if processed > maxEvents {
-				return fmt.Errorf("sim: exceeded %d events at t=%v (scheduler livelock?)", maxEvents, e.now)
-			}
-			switch it.Kind {
-			case evEnd:
-				e.finish(it.Payload)
-				e.trace("end job=%d", it.Payload.ID)
-			case evArrive:
-				j := it.Payload
-				j.State = job.Queued
-				e.queue.push(j)
-				e.arrived = append(e.arrived, j)
-				e.dirty = true
-				e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
-			case evTick:
-				tick = true
-			case evCheckpoint:
-				// The checkpoint may retune the policy, so the next due
-				// pass can never be elided.
-				checkpoint = true
-				e.dirty = true
-			}
-		}
-
-		// Fairness oracle: fair start times are defined at submission,
-		// before this instant's scheduling pass. All jobs arriving at one
-		// instant see the same no-later-arrival world, so one nested run
-		// serves the whole batch.
-		if e.cfg.Fairness && !e.sub && len(e.arrived) > 0 {
-			if e.cfg.naiveOracle {
-				e.fairStartNaive(e.arrived)
-			} else {
-				e.fairStartBatch(e.arrived)
-			}
-		}
-
-		if checkpoint && !e.sub {
-			bf, w, hasTunables := e.tunables()
-			e.collector.OnCheckpoint(e.now, e.queue.jobs(), bf, w, hasTunables)
-			if hasTunables {
-				e.trace("checkpoint queue=%d bf=%g w=%d", e.queue.len(), bf, w)
-			} else {
-				e.trace("checkpoint queue=%d", e.queue.len())
-			}
-			if ad, ok := e.scheduler.(sched.Adaptive); ok {
-				ad.Checkpoint(e, e)
-			}
-			e.collector.Compact(e.now) // no-op outside lean streaming runs
-			if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() {
-				e.events.Push(e.now.Add(e.cfg.CheckInterval), evCheckpoint, nil)
-			}
-		}
-
-		// Event-driven mode schedules after every batch; periodic mode
-		// only on ticks (and at checkpoints, where the policy may have
-		// just been retuned). A due pass is elided when it is provably a
-		// no-op: nothing schedule-relevant happened since the last
-		// executed pass (so the policy would see the exact state it
-		// already resolved, modulo the clock) and the cached δ says no
-		// queued job fits the idle nodes (so no start — and no change to
-		// reservation state, which only moves when a grant is possible
-		// or the state it was computed from changes). Idle and drain
-		// stretches in periodic mode then cost O(1) per tick.
-		ran := false
-		if e.cfg.SchedulePeriod <= 0 || tick || checkpoint {
-			if e.cfg.disableElision || e.dirty || e.lastDelta {
-				e.scheduler.Schedule(e)
-				ran = true
-			}
-		}
-		// δ is recomputed whenever the state could differ from the value
-		// cached at the last executed pass; an elided pass keeps both the
-		// state and the cache, byte-identically.
-		if ran || e.dirty {
-			e.lastDelta = e.queuedJobFitsIdle()
-		}
-		if ran {
-			e.dirty = false
-		}
-
-		if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive()) {
-			next := e.now.Add(e.cfg.SchedulePeriod)
-			if e.sub && !e.cfg.disableElision && !e.dirty && !e.lastDelta {
-				// Nested runs have no collector to sample, so a stretch
-				// of would-be-elided ticks is pure dead time: jump to the
-				// first tick on the same phase grid at or after the next
-				// pending event.
-				if it, ok := e.events.Peek(); ok && it.Time > next {
-					k := (it.Time.Sub(next) + e.cfg.SchedulePeriod - 1) / e.cfg.SchedulePeriod
-					next = next.Add(k * e.cfg.SchedulePeriod)
-				}
-			}
-			e.events.Push(next, evTick, nil)
-		}
-
-		if !e.sub {
-			e.collector.OnScheduleStep(e.now, e.machine.BusyNodes(), e.machine.UsedNodes(), e.lastDelta)
-		}
-		if e.cfg.Paranoid {
-			e.checkInvariants()
+		ok, err := e.step()
+		if !ok || err != nil {
+			return err
 		}
 	}
+}
+
+// step advances the engine through the next pending instant: it drains
+// every event at that instant, runs the fairness oracle and checkpoint
+// hooks, executes (or elides) one scheduling pass, and samples the
+// collector — one iteration of the batch event loop. It returns false
+// with the heap empty. Live advancing (the amjsd daemon) is built on
+// step so that interactive sessions replay the exact batch semantics.
+func (e *engine) step() (bool, error) {
+	next, ok := e.events.Peek()
+	if !ok {
+		return false, nil
+	}
+	e.now = next.Time
+	checkpoint := false
+	tick := false
+	e.arrived = e.arrived[:0]
+
+	// Drain every event at this instant before scheduling once.
+	for {
+		it, ok := e.events.Peek()
+		if !ok || it.Time != e.now {
+			break
+		}
+		it, _ = e.events.Pop()
+		e.processed++
+		if e.processed > maxEvents {
+			return false, fmt.Errorf("sim: exceeded %d events at t=%v (scheduler livelock?)", maxEvents, e.now)
+		}
+		switch it.Kind {
+		case evEnd:
+			e.finish(it.Payload)
+			e.trace("end job=%d", it.Payload.ID)
+		case evArrive:
+			j := it.Payload
+			if j.State == job.Cancelled {
+				break // cancelled between submission and arrival (Live)
+			}
+			j.State = job.Queued
+			e.queue.push(j)
+			e.arrived = append(e.arrived, j)
+			e.dirty = true
+			e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
+		case evTick:
+			tick = true
+		case evCheckpoint:
+			// The checkpoint may retune the policy, so the next due
+			// pass can never be elided.
+			checkpoint = true
+			e.dirty = true
+		}
+	}
+
+	// Fairness oracle: fair start times are defined at submission,
+	// before this instant's scheduling pass. All jobs arriving at one
+	// instant see the same no-later-arrival world, so one nested run
+	// serves the whole batch.
+	if e.cfg.Fairness && !e.sub && len(e.arrived) > 0 {
+		if e.cfg.naiveOracle {
+			e.fairStartNaive(e.arrived)
+		} else {
+			e.fairStartBatch(e.arrived)
+		}
+	}
+
+	if checkpoint && !e.sub {
+		bf, w, hasTunables := e.tunables()
+		e.collector.OnCheckpoint(e.now, e.queue.jobs(), bf, w, hasTunables)
+		if hasTunables {
+			e.trace("checkpoint queue=%d bf=%g w=%d", e.queue.len(), bf, w)
+		} else {
+			e.trace("checkpoint queue=%d", e.queue.len())
+		}
+		if ad, ok := e.scheduler.(sched.Adaptive); ok {
+			ad.Checkpoint(e, e)
+		}
+		e.collector.Compact(e.now) // no-op outside lean streaming runs
+		if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids {
+			e.events.Push(e.now.Add(e.cfg.CheckInterval), evCheckpoint, nil)
+		}
+	}
+
+	// Event-driven mode schedules after every batch; periodic mode
+	// only on ticks (and at checkpoints, where the policy may have
+	// just been retuned). A due pass is elided when it is provably a
+	// no-op: nothing schedule-relevant happened since the last
+	// executed pass (so the policy would see the exact state it
+	// already resolved, modulo the clock) and the cached δ says no
+	// queued job fits the idle nodes (so no start — and no change to
+	// reservation state, which only moves when a grant is possible
+	// or the state it was computed from changes). Idle and drain
+	// stretches in periodic mode then cost O(1) per tick.
+	ran := false
+	if e.cfg.SchedulePeriod <= 0 || tick || checkpoint {
+		if e.cfg.disableElision || e.dirty || e.lastDelta {
+			e.scheduler.Schedule(e)
+			ran = true
+		}
+	}
+	// δ is recomputed whenever the state could differ from the value
+	// cached at the last executed pass; an elided pass keeps both the
+	// state and the cache, byte-identically.
+	if ran || e.dirty {
+		e.lastDelta = e.queuedJobFitsIdle()
+	}
+	if ran {
+		e.dirty = false
+	}
+
+	if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids) {
+		next := e.now.Add(e.cfg.SchedulePeriod)
+		if e.sub && !e.cfg.disableElision && !e.dirty && !e.lastDelta {
+			// Nested runs have no collector to sample, so a stretch
+			// of would-be-elided ticks is pure dead time: jump to the
+			// first tick on the same phase grid at or after the next
+			// pending event.
+			if it, ok := e.events.Peek(); ok && it.Time > next {
+				k := (it.Time.Sub(next) + e.cfg.SchedulePeriod - 1) / e.cfg.SchedulePeriod
+				next = next.Add(k * e.cfg.SchedulePeriod)
+			}
+		}
+		e.events.Push(next, evTick, nil)
+	}
+
+	if !e.sub {
+		e.collector.OnScheduleStep(e.now, e.machine.BusyNodes(), e.machine.UsedNodes(), e.lastDelta)
+	}
+	if e.cfg.Paranoid {
+		e.checkInvariants()
+	}
+	return true, nil
+}
+
+// cancelQueued withdraws a waiting job from the system: it leaves the
+// queue, any per-job state the policy carried for it (the persistent
+// EASY reservation, most importantly) is invalidated through the
+// sched.Evictor notification, and the next due scheduling pass can no
+// longer be elided — the freed reservation may unblock backfill even
+// though no nodes changed state.
+func (e *engine) cancelQueued(j *job.Job) {
+	e.queue.remove(j)
+	j.State = job.Cancelled
+	e.dirty = true
+	if ev, ok := e.scheduler.(sched.Evictor); ok {
+		ev.JobRemoved(j.ID)
+	}
+	e.trace("cancel job=%d", j.ID)
 }
 
 // checkInvariants asserts the engine's structural invariants; any

@@ -138,7 +138,11 @@ func (s *SWFSource) Next() (*job.Job, error) {
 			continue // skipped or EOF (eof flag set)
 		}
 		if j.Submit < s.lastOut {
-			return nil, fmt.Errorf("workload: line %d: submit order violated by more than the %v reorder slack", s.lineNo, s.slack)
+			return nil, &SWFError{
+				Source: s.opt.Source, Line: s.lineNo, Field: swfFieldNames[swfSubmit],
+				Msg: fmt.Sprintf("submit time %d out of order by more than the %v reorder slack (already emitted up to %d)",
+					int64(j.Submit), s.slack, int64(s.lastOut)),
+			}
 		}
 		if s.haveAny && (j.Submit < s.prevSub || (j.Submit == s.prevSub && j.ID < s.prevID)) {
 			s.inOrder = false
@@ -181,7 +185,11 @@ func (s *SWFSource) scanRecord() (*job.Job, error) {
 		// Comment or blank line: keep scanning.
 	}
 	if err := s.sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: reading SWF: %w", err)
+		src := s.opt.Source
+		if src == "" {
+			src = "SWF"
+		}
+		return nil, fmt.Errorf("workload: reading %s: %w", src, err)
 	}
 	s.eof = true
 	return nil, nil

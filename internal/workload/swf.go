@@ -61,6 +61,57 @@ type SWFOptions struct {
 	// KeepFailed keeps jobs whose SWF status is not 1 (completed).
 	// Runtimes of failed/cancelled jobs are still honored when positive.
 	KeepFailed bool
+
+	// Source labels the trace in error messages (conventionally the
+	// file path). Empty renders as "swf".
+	Source string
+}
+
+// SWFError pinpoints a malformed SWF record: the trace it came from,
+// the 1-based line number, the offending field (empty for line-level
+// problems such as a short record), and what was wrong with it. It is
+// returned, wrapped or not, by ReadSWF and SWFSource; errors.As
+// recovers it for programmatic handling.
+type SWFError struct {
+	Source string // trace label (file path); "" when unknown
+	Line   int    // 1-based line number
+	Field  string // SWF field name, "" for line-level errors
+	Msg    string // what was malformed
+}
+
+// Error implements error.
+func (e *SWFError) Error() string {
+	src := e.Source
+	if src == "" {
+		src = "swf"
+	}
+	if e.Field == "" {
+		return fmt.Sprintf("workload: %s:%d: %s", src, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("workload: %s:%d: field %q: %s", src, e.Line, e.Field, e.Msg)
+}
+
+// swfFieldNames maps field indices to the Standard Workload Format's
+// field names, for error messages.
+var swfFieldNames = [swfFieldCount]string{
+	swfJobID:        "job number",
+	swfSubmit:       "submit time",
+	swfWait:         "wait time",
+	swfRunTime:      "run time",
+	swfAllocProcs:   "allocated processors",
+	swfAvgCPU:       "average cpu time",
+	swfUsedMem:      "used memory",
+	swfReqProcs:     "requested processors",
+	swfReqTime:      "requested time",
+	swfReqMem:       "requested memory",
+	swfStatus:       "status",
+	swfUserID:       "user id",
+	swfGroupID:      "group id",
+	swfExecutable:   "executable",
+	swfQueue:        "queue",
+	swfPartition:    "partition",
+	swfPrecedingJob: "preceding job",
+	swfThinkTime:    "think time",
 }
 
 // ReadSWF parses an SWF trace. Jobs with unusable fields (non-positive
@@ -115,25 +166,47 @@ func parseSWFLine(raw string, lineNo, ppn int, opt SWFOptions) (j *job.Job, skip
 	}
 	fields := strings.Fields(line)
 	if len(fields) < swfFieldCount {
-		return nil, false, fmt.Errorf("workload: line %d: %d fields, want %d", lineNo, len(fields), swfFieldCount)
+		return nil, false, &SWFError{
+			Source: opt.Source, Line: lineNo,
+			Msg: fmt.Sprintf("%d fields, want %d", len(fields), swfFieldCount),
+		}
 	}
-	get := func(i int) (int64, error) {
-		return strconv.ParseInt(fields[i], 10, 64)
+	var ferr *SWFError
+	get := func(i int) int64 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil && ferr == nil {
+			ferr = &SWFError{
+				Source: opt.Source, Line: lineNo, Field: swfFieldNames[i],
+				Msg: fmt.Sprintf("not an integer: %q", fields[i]),
+			}
+		}
+		return v
 	}
-	id, err := get(swfJobID)
-	if err != nil {
-		return nil, false, fmt.Errorf("workload: line %d: bad job id: %v", lineNo, err)
+	id := get(swfJobID)
+	submit := get(swfSubmit)
+	runSec := get(swfRunTime)
+	reqProcs := get(swfReqProcs)
+	allocProcs := get(swfAllocProcs)
+	reqTime := get(swfReqTime)
+	status := get(swfStatus)
+	userID := get(swfUserID)
+	if ferr != nil {
+		return nil, false, ferr
 	}
-	submit, err := get(swfSubmit)
-	if err != nil {
-		return nil, false, fmt.Errorf("workload: line %d: bad submit time: %v", lineNo, err)
+	// -1 is the format's "unknown" sentinel; anything more negative is
+	// not a valid SWF value and signals a corrupt record rather than a
+	// merely unusable one.
+	for _, f := range []struct {
+		idx int
+		v   int64
+	}{{swfRunTime, runSec}, {swfReqProcs, reqProcs}, {swfAllocProcs, allocProcs}, {swfReqTime, reqTime}} {
+		if f.v < -1 {
+			return nil, false, &SWFError{
+				Source: opt.Source, Line: lineNo, Field: swfFieldNames[f.idx],
+				Msg: fmt.Sprintf("negative value %d (only -1 may mark unknown)", f.v),
+			}
+		}
 	}
-	runSec, _ := get(swfRunTime)
-	reqProcs, _ := get(swfReqProcs)
-	allocProcs, _ := get(swfAllocProcs)
-	reqTime, _ := get(swfReqTime)
-	status, _ := get(swfStatus)
-	userID, _ := get(swfUserID)
 
 	procs := reqProcs
 	if procs <= 0 {
