@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke verify bench bench-compare run-daemon clean
+.PHONY: all build test race vet bench-smoke fuzz fuzz-corpus verify bench bench-compare run-daemon clean
 
 all: build
 
@@ -24,12 +24,29 @@ vet:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale' -benchtime 1x .
 
-# verify is the pre-merge gate: vet, build, the full suite, the
-# concurrent packages under the race detector, and a benchmark smoke
+# fuzz-corpus asserts the committed seed corpora exist: a fuzz target
+# whose corpus directory vanished would silently fuzz from nothing.
+fuzz-corpus:
+	@test -n "$$(ls internal/workload/testdata/fuzz/FuzzSWF 2>/dev/null)" \
+		|| { echo "missing FuzzSWF seed corpus"; exit 1; }
+	@test -n "$$(ls internal/sim/testdata/fuzz/FuzzSchedule 2>/dev/null)" \
+		|| { echo "missing FuzzSchedule seed corpus"; exit 1; }
+
+# fuzz runs each native fuzz target for FUZZTIME (default 10s) on top
+# of the committed seed corpora: the SWF parser contract and the
+# Paranoid engine with batch/stream cross-checking.
+FUZZTIME ?= 10s
+fuzz: fuzz-corpus
+	$(GO) test -run '^$$' -fuzz '^FuzzSWF$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/sim
+
+# verify is the pre-merge gate: vet, build, the full suite (which
+# replays both fuzz seed corpora), the concurrent packages under the
+# race detector, the seed-corpus presence check, and a benchmark smoke
 # test. The benchmark comparison runs too, but non-fatally: measured
 # numbers vary with the machine, so a regression there warns without
 # blocking the gate.
-verify: vet build test race bench-smoke
+verify: vet build test race fuzz-corpus bench-smoke
 	-$(MAKE) bench-compare
 
 # bench runs the measured scheduling benchmarks (window-search micro

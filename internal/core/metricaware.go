@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"amjs/internal/invariant"
 	"amjs/internal/job"
 	"amjs/internal/machine"
 	"amjs/internal/parallel"
@@ -86,6 +87,16 @@ type MetricAware struct {
 	// unfairness cost of W > 1 bounded, as in the paper's Table II.
 	reservedID int
 
+	// reservedStart is the start instant committed for reservedID's
+	// protected reservation in the pass that last (re-)granted it —
+	// the promise the invariant checker audits (meaningful only while
+	// reservedID != 0).
+	reservedStart units.Time
+
+	// verifyCount sequences the paranoid window-search verification's
+	// sampling of large windows (see shouldVerifyWindow).
+	verifyCount int
+
 	// order overrides the queue prioritization when non-nil (used by the
 	// multi-metric extension); the default is Prioritize with BF.
 	order func(now units.Time, queue []*job.Job) []*job.Job
@@ -166,6 +177,17 @@ func (s *MetricAware) AdoptScratch(from sched.Scheduler) {
 // engine's checkpoint series and driven by the adaptive Tuner).
 func (s *MetricAware) Tunables() (bf float64, w int) { return s.BF, s.W }
 
+// ProtectedReservation implements invariant.ReservationHolder: the job
+// currently holding the persistent EASY reservation and the start
+// instant promised to it. Conservative mode keeps no persistent
+// protection, so held is false there.
+func (s *MetricAware) ProtectedReservation() (jobID int, start units.Time, held bool) {
+	if s.Conservative || s.reservedID == 0 {
+		return 0, 0, false
+	}
+	return s.reservedID, s.reservedStart, true
+}
+
 // JobRemoved implements sched.Evictor: when a queued job is withdrawn
 // (cancelled) without starting, the persistent protected reservation is
 // released if that job held it, so the next pass re-grants protection
@@ -192,6 +214,10 @@ func (s *MetricAware) Schedule(env sched.Env) {
 		return
 	}
 	now := env.Now()
+	paranoid := false
+	if pe, ok := env.(sched.InvariantChecker); ok {
+		paranoid = pe.InvariantChecking()
+	}
 
 	// Fast path: a pass that provably changes nothing is skipped before
 	// the plan is even built. No queued job fitting the idle node count
@@ -249,10 +275,19 @@ func (s *MetricAware) Schedule(env sched.Env) {
 			}
 			if ts, hint := plan.EarliestStart(j.Nodes, j.Walltime); ts != units.Forever {
 				if ts == now {
-					break // startable this pass; the window loop handles it
+					// Startable this pass: the promise is due, protection
+					// lapses, and the window loop handles the job in open
+					// competition. Paranoid runs record the lapse so the
+					// validity oracle can tell the subsequent re-grant
+					// from an illegal reservation delay.
+					if lo, ok := env.(invariant.LapseObserver); ok {
+						lo.ReservationLapsed(j.ID)
+					}
+					break
 				}
 				plan.Commit(j.Nodes, ts, j.Walltime, hint)
 				held = true
+				s.reservedStart = ts
 			}
 			break
 		}
@@ -299,6 +334,15 @@ func (s *MetricAware) Schedule(env sched.Env) {
 			perm = s.search.identity(len(window))
 		} else {
 			perm = s.bestPermutation(plan, window, now)
+			// Paranoid runs cross-check the pruned search against the
+			// exhaustive W! oracle on the same window-entry plan. Only
+			// real searches are checked: the startable<2 identity fast
+			// path above is execution-equivalent, not score-optimal.
+			if paranoid && s.shouldVerifyWindow(len(window)) {
+				if err := invariant.VerifyWindow(plan, window, now, perm, s.UtilizationFirst); err != nil {
+					panic(err)
+				}
+			}
 		}
 		var blocked []*job.Job
 		for _, idx := range perm {
@@ -329,6 +373,7 @@ func (s *MetricAware) Schedule(env sched.Env) {
 				reserved = true
 				if !s.Conservative {
 					s.reservedID = j.ID
+					s.reservedStart = ts
 				}
 			}
 		}
@@ -348,11 +393,28 @@ func (s *MetricAware) Schedule(env sched.Env) {
 				reserved = true
 				if !s.Conservative {
 					s.reservedID = j.ID
+					s.reservedStart = ts
 					break
 				}
 			}
 		}
 	}
+}
+
+// windowVerifySampling thins the exhaustive window oracle on large
+// windows: W! evaluation at W=6..7 costs three orders of magnitude more
+// than the pruned search it audits, so paranoid runs check every small
+// window but only every windowVerifySampling-th large one.
+const windowVerifySampling = 7
+
+// shouldVerifyWindow decides whether this paranoid pass's window search
+// gets the exhaustive cross-check.
+func (s *MetricAware) shouldVerifyWindow(n int) bool {
+	if n <= 4 {
+		return true
+	}
+	s.verifyCount++
+	return s.verifyCount%windowVerifySampling == 0
 }
 
 // windowStartableNow counts the window's jobs that can start at this

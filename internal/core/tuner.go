@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"amjs/internal/invariant"
 	"amjs/internal/sched"
 	"amjs/internal/units"
 )
@@ -214,6 +215,38 @@ func (t *Tuner) AdoptScratch(from sched.Scheduler) {
 // JobRemoved implements sched.Evictor by forwarding to the wrapped
 // scheduler, which may hold a protected reservation for the job.
 func (t *Tuner) JobRemoved(id int) { t.base.JobRemoved(id) }
+
+// ProtectedReservation implements invariant.ReservationHolder by
+// forwarding to the wrapped scheduler.
+func (t *Tuner) ProtectedReservation() (jobID int, start units.Time, held bool) {
+	return t.base.ProtectedReservation()
+}
+
+// TuningRules implements invariant.RuleSource: the schemes rendered in
+// checker-replayable form. ok is false when a scheme uses a monitor the
+// rule vocabulary cannot express, in which case the checker skips
+// retune verification for the whole run.
+func (t *Tuner) TuningRules() ([]invariant.TuningRule, bool) {
+	rules := make([]invariant.TuningRule, 0, len(t.schemes))
+	for _, s := range t.schemes {
+		r := invariant.TuningRule{
+			Target: s.Target.String(),
+			Delta:  s.Delta, Min: s.Min, Max: s.Max,
+		}
+		switch m := s.Monitor.(type) {
+		case QueueDepthMonitor:
+			r.Kind = invariant.RuleQueueDepth
+			r.ThresholdMinutes = m.ThresholdMinutes
+		case UtilTrendMonitor:
+			r.Kind = invariant.RuleUtilTrend
+			r.Short, r.Long = m.Short, m.Long
+		default:
+			return nil, false
+		}
+		rules = append(rules, r)
+	}
+	return rules, true
+}
 
 // Checkpoint implements sched.Adaptive.
 func (t *Tuner) Checkpoint(env sched.Env, m sched.MetricsView) {

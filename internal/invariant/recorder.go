@@ -1,0 +1,119 @@
+package invariant
+
+import (
+	"amjs/internal/job"
+	"amjs/internal/units"
+)
+
+// Recorder accumulates the replayable trace as the engine executes. The
+// engine calls one method per lifecycle event; the Recorder stores raw
+// facts only — all judgement lives in Check, so a bug in the engine
+// cannot leak into the oracle through shared logic.
+type Recorder struct {
+	tr Trace
+
+	// Reservation dedup: the engine samples the scheduler's protected
+	// reservation after every executed pass, which mostly re-observes
+	// the same grant. Only changes become trace events.
+	lastResID    int
+	lastResStart units.Time
+}
+
+// NewRecorder returns a recorder for a machine of totalNodes with the
+// given fairness tolerance.
+func NewRecorder(totalNodes int, tolerance units.Duration) *Recorder {
+	return &Recorder{tr: Trace{TotalNodes: totalNodes, FairnessTolerance: tolerance}}
+}
+
+// DescribeScheduler records what the checker may assume about the
+// scheduler: its retuning rules (when expressible) and whether it is
+// adaptive at all.
+func (r *Recorder) DescribeScheduler(rules []TuningRule, rulesKnown, adaptive bool) {
+	r.tr.Rules = rules
+	r.tr.RulesKnown = rulesKnown
+	r.tr.Adaptive = adaptive
+}
+
+// Rules returns the recorded tuning rules, for the engine to know which
+// monitor inputs to sample at each checkpoint.
+func (r *Recorder) Rules() []TuningRule { return r.tr.Rules }
+
+// Arrive records a job entering the queue.
+func (r *Recorder) Arrive(t units.Time, j *job.Job) {
+	r.tr.Events = append(r.tr.Events, Event{
+		T: t, Kind: KindArrive, JobID: j.ID, Nodes: j.Nodes,
+		Walltime: j.Walltime, Runtime: j.Runtime, Submit: j.Submit,
+	})
+}
+
+// Start records a job beginning execution. blockNodes is the busy-node
+// footprint (internal fragmentation included); placement is the machine
+// units occupied, nil when the machine tracks none. fair is the
+// fairness oracle's start for the job when fairKnown.
+func (r *Recorder) Start(t units.Time, j *job.Job, blockNodes int, placement []int, fair units.Time, fairKnown bool) {
+	var cp []int
+	if len(placement) > 0 {
+		cp = append(cp, placement...) // the caller may reuse its slice
+	}
+	r.tr.Events = append(r.tr.Events, Event{
+		T: t, Kind: KindStart, JobID: j.ID, Nodes: j.Nodes,
+		BlockNodes: blockNodes, Units: cp, Fair: fair, FairKnown: fairKnown,
+	})
+	if r.lastResID == j.ID {
+		r.lastResID = 0 // the holder started; the next grant is a fresh one
+	}
+}
+
+// End records a job's completion, capturing its final state.
+func (r *Recorder) End(t units.Time, j *job.Job) {
+	r.tr.Events = append(r.tr.Events, Event{T: t, Kind: KindEnd, JobID: j.ID, Final: j.State})
+}
+
+// Cancel records a queued job's cancellation.
+func (r *Recorder) Cancel(t units.Time, j *job.Job) {
+	r.tr.Events = append(r.tr.Events, Event{T: t, Kind: KindCancel, JobID: j.ID})
+	if r.lastResID == j.ID {
+		r.lastResID = 0
+	}
+}
+
+// Reserve records the scheduler's protected reservation as sampled
+// after a pass. Repeated observations of an unchanged grant are
+// deduplicated; every change (new holder, or a moved start for the same
+// holder) becomes an event for Check to judge.
+func (r *Recorder) Reserve(t units.Time, jobID int, start units.Time) {
+	if jobID == r.lastResID && start == r.lastResStart {
+		return
+	}
+	r.lastResID = jobID
+	r.lastResStart = start
+	r.tr.Events = append(r.tr.Events, Event{T: t, Kind: KindReserve, JobID: jobID, ResStart: start})
+}
+
+// Lapse records a protection lapse: the scheduler reported the current
+// holder startable at pass entry, discharging its promise (see
+// LapseObserver). A later grant — even to the same job — is then fresh.
+func (r *Recorder) Lapse(t units.Time, jobID int) {
+	r.tr.Events = append(r.tr.Events, Event{T: t, Kind: KindLapse, JobID: jobID})
+	if r.lastResID == jobID {
+		r.lastResID = 0
+	}
+}
+
+// Checkpoint records one C_i tick: the engine-reported queue depth, the
+// monitor inputs sampled just before the retune (one [short, long] or
+// [value, 0] pair per recorded rule), and the tunables on both sides of
+// it. hasTunables is false for schedulers without exposed tunables.
+func (r *Recorder) Checkpoint(t units.Time, qd float64, ruleInputs [][2]float64,
+	bfBefore float64, wBefore int, bfAfter float64, wAfter int, hasTunables bool) {
+	r.tr.Events = append(r.tr.Events, Event{
+		T: t, Kind: KindCheckpoint, QD: qd, RuleInputs: ruleInputs,
+		BFBefore: bfBefore, WBefore: wBefore,
+		BFAfter: bfAfter, WAfter: wAfter, HasTunables: hasTunables,
+	})
+}
+
+// Trace exposes the accumulated trace for checking. The recorder
+// remains usable afterwards (Live re-verifies its cumulative trace on
+// every Drain).
+func (r *Recorder) Trace() *Trace { return &r.tr }

@@ -1,0 +1,39 @@
+package machine
+
+// Footprinter is implemented by machines with placement identity: it
+// exposes the exact units (midplanes) an allocation occupies, so an
+// external checker can audit double-booking and fragmentation without
+// reaching into machine internals. Machines without placement identity
+// (Flat) do not implement it; checkers then fall back to capacity-only
+// accounting with the job's requested node count as its footprint.
+type Footprinter interface {
+	// AllocUnits returns the midplane indices a holds and the node
+	// count per midplane. ok is false when a is unknown. The returned
+	// slice is the caller's to keep.
+	AllocUnits(a Alloc) (mps []int, nodesPerUnit int, ok bool)
+}
+
+// AllocUnits implements Footprinter: the contiguous aligned block
+// [start, start+width).
+func (p *Partition) AllocUnits(a Alloc) ([]int, int, bool) {
+	al, ok := p.allocs[a]
+	if !ok {
+		return nil, 0, false
+	}
+	mps := make([]int, al.width)
+	for i := range mps {
+		mps[i] = al.start + i
+	}
+	return mps, p.perMP, true
+}
+
+// AllocUnits implements Footprinter: the allocation's cuboid cells.
+func (t *Torus) AllocUnits(a Alloc) ([]int, int, bool) {
+	al, ok := t.allocs[a]
+	if !ok {
+		return nil, 0, false
+	}
+	mps := make([]int, len(al.cells))
+	copy(mps, al.cells)
+	return mps, t.perMP, true
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amjs/internal/units"
+)
+
+// mapPartition is a deliberately naive model of the partition
+// allocator: a plain midplane→job map, linear probing, no bitsets, no
+// caches. The word-parallel allocator must agree with it on every
+// decision — grant/deny, placement, and occupancy — over arbitrary
+// allocate/release sequences.
+type mapPartition struct {
+	midplanes, perMP, maxPow2 int
+	occ                       map[int]int
+}
+
+func newMapPartition(midplanes, perMP int) *mapPartition {
+	maxPow2 := 1
+	for maxPow2*2 <= midplanes {
+		maxPow2 *= 2
+	}
+	return &mapPartition{midplanes: midplanes, perMP: perMP, maxPow2: maxPow2,
+		occ: make(map[int]int)}
+}
+
+// width mirrors BlockMidplanes from first principles.
+func (m *mapPartition) width(nodes int) int {
+	if nodes <= 0 || nodes > m.midplanes*m.perMP {
+		return -1
+	}
+	mps := (nodes + m.perMP - 1) / m.perMP
+	if mps > m.maxPow2 {
+		return m.midplanes
+	}
+	w := 1
+	for w < mps {
+		w *= 2
+	}
+	return w
+}
+
+// place returns the lowest width-aligned start whose midplanes are all
+// free, or -1.
+func (m *mapPartition) place(width int) int {
+	for s := 0; s+width <= m.midplanes; s += width {
+		free := true
+		for i := s; i < s+width; i++ {
+			if _, ok := m.occ[i]; ok {
+				free = false
+				break
+			}
+		}
+		if free {
+			return s
+		}
+	}
+	return -1
+}
+
+func (m *mapPartition) claim(start, width, jobID int) {
+	for i := start; i < start+width; i++ {
+		m.occ[i] = jobID
+	}
+}
+
+func (m *mapPartition) release(mps []int) {
+	for _, i := range mps {
+		delete(m.occ, i)
+	}
+}
+
+// TestPartitionMatchesMapModel cross-checks the bitset allocator
+// against the map model after every operation of random alloc/free
+// sequences: same grant decisions, same first-fit placements (via the
+// Footprinter view), and the same busy census.
+func TestPartitionMatchesMapModel(t *testing.T) {
+	type liveAlloc struct {
+		a   Alloc
+		mps []int
+	}
+	f := func(ops []uint16) bool {
+		p := NewPartition(16, 32)
+		ref := newMapPartition(16, 32)
+		var live []liveAlloc
+		now := units.Time(0)
+		for _, op := range ops {
+			now++
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op/3) % len(live)
+				p.Release(live[i].a, now)
+				ref.release(live[i].mps)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				nodes := 1 + int(op)%(p.TotalNodes()+16) // occasionally unfittable
+				width := ref.width(nodes)
+				wantStart := -1
+				if width > 0 {
+					wantStart = ref.place(width)
+				}
+				a, ok := p.TryStart(int(op), nodes, now, 100)
+				if ok != (wantStart >= 0) {
+					t.Logf("nodes=%d: grant=%v, model=%v", nodes, ok, wantStart >= 0)
+					return false
+				}
+				if ok {
+					mps, per, fok := p.AllocUnits(a)
+					if !fok || per != 32 || len(mps) != width {
+						t.Logf("nodes=%d: footprint %v per=%d, want width %d per 32",
+							nodes, mps, per, width)
+						return false
+					}
+					if mps[0] != wantStart {
+						t.Logf("nodes=%d: placed at %d, model first fit %d",
+							nodes, mps[0], wantStart)
+						return false
+					}
+					ref.claim(wantStart, width, int(op))
+					live = append(live, liveAlloc{a: a, mps: mps})
+				}
+			}
+			// Census and availability must agree after every step.
+			if p.BusyNodes() != len(ref.occ)*32 ||
+				p.IdleNodes() != p.TotalNodes()-len(ref.occ)*32 ||
+				p.RunningCount() != len(live) {
+				t.Logf("census: busy=%d running=%d, model busy=%d running=%d",
+					p.BusyNodes(), p.RunningCount(), len(ref.occ)*32, len(live))
+				return false
+			}
+			for _, nodes := range []int{1, 32, 64, 129, 512} {
+				w := ref.width(nodes)
+				want := w > 0 && ref.place(w) >= 0
+				if p.CanStartNow(nodes) != want {
+					t.Logf("CanStartNow(%d)=%v, model %v", nodes, p.CanStartNow(nodes), want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

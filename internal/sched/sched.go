@@ -82,6 +82,16 @@ type Adaptive interface {
 	Checkpoint(env Env, m MetricsView)
 }
 
+// InvariantChecker is an optional Env capability: it reports whether
+// the environment is auditing this run with the schedule-validity
+// oracle (internal/invariant). Schedulers use it to enable their own
+// expensive self-checks — the metric-aware policy cross-checks its
+// pruned window search against the exhaustive W! oracle — only when the
+// run asked for them.
+type InvariantChecker interface {
+	InvariantChecking() bool
+}
+
 // Evictor is implemented by schedulers that carry per-job state across
 // scheduling passes (a persistent protected reservation, a window
 // incumbent). The environment calls JobRemoved when a queued job leaves

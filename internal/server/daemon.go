@@ -58,6 +58,11 @@ type Config struct {
 	// replays that want full checkpoint series.
 	Lean bool
 
+	// Paranoid arms the engine's schedule-validity oracle
+	// (sim.Config.Paranoid): every Drain re-audits the session's full
+	// event history.
+	Paranoid bool
+
 	// Trace is passed through to the engine (one line per event).
 	Trace io.Writer
 
@@ -165,6 +170,7 @@ func New(cfg Config) (*Daemon, error) {
 		Scheduler:      cfg.Scheduler,
 		CheckInterval:  cfg.CheckInterval,
 		SchedulePeriod: cfg.SchedulePeriod,
+		Paranoid:       cfg.Paranoid,
 		Trace:          cfg.Trace,
 	}, cfg.Lean)
 	if err != nil {

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"amjs/internal/core"
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+	"amjs/internal/units"
+	"amjs/internal/workload"
+)
+
+// fuzzConfig decodes the fuzz input's 5-byte header into an engine
+// configuration: machine model, policy, scheduling cadence, fairness
+// oracle, and checkpoint interval. Every run is Paranoid, so the
+// schedule-validity oracle audits whatever the fuzzer constructs.
+func fuzzConfig(h [5]byte) Config {
+	cfg := Config{Paranoid: true}
+	switch h[0] % 3 {
+	case 0:
+		cfg.Machine = machine.NewFlat(512)
+	case 1:
+		cfg.Machine = machine.NewPartition(8, 64)
+	case 2:
+		cfg.Machine = machine.NewTorus(2, 2, 2, 64)
+	}
+	switch h[1] % 6 {
+	case 0:
+		cfg.Scheduler = core.NewMetricAware(0.5, 3)
+	case 1:
+		cfg.Scheduler = core.NewTuner(core.PaperBFScheme(30), core.PaperWScheme())
+	case 2:
+		cfg.Scheduler = sched.NewFCFS()
+	case 3:
+		cfg.Scheduler = sched.NewSJF()
+	case 4:
+		cfg.Scheduler = sched.NewEASY()
+	case 5:
+		cfg.Scheduler = sched.NewConservative()
+	}
+	switch h[2] % 3 {
+	case 1:
+		cfg.SchedulePeriod = 10 * units.Second
+	case 2:
+		cfg.SchedulePeriod = 30 * units.Second
+	}
+	cfg.Fairness = h[3]&1 == 1
+	cfg.CheckInterval = units.Duration(5+15*int64(h[4]%3)) * units.Minute
+	return cfg
+}
+
+// fuzzJobs decodes the rest of the input, four bytes per job: submit
+// delta, node count (shifted so some exceed the machine and exercise
+// rejection), runtime, and a flags byte holding the walltime padding.
+func fuzzJobs(data []byte, max int) []*job.Job {
+	var jobs []*job.Job
+	submit := units.Time(0)
+	for i := 0; i+4 <= len(data) && len(jobs) < max; i += 4 {
+		b := data[i : i+4]
+		submit = submit.Add(units.Duration(b[0]) * 10)
+		runtime := units.Duration(int64(b[2])+1) * 90
+		jobs = append(jobs, &job.Job{
+			ID:       len(jobs) + 1,
+			Submit:   submit,
+			Nodes:    (int(b[1]) + 1) << (b[3] % 3),
+			Runtime:  runtime,
+			Walltime: runtime + units.Duration(b[3])*units.Minute,
+		})
+	}
+	return jobs
+}
+
+// FuzzSchedule feeds fuzzer-constructed workloads through the engine
+// with the full validity oracle armed. Any invariant violation fails
+// Run itself; on top of that, the streamed engine must reproduce the
+// batch engine byte for byte on the same input.
+func FuzzSchedule(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x00\x00" + "\x00\x3f\x10\x00" + "\x05\x7f\x20\x01"))
+	f.Add([]byte("\x01\x01\x01\x01\x01" + "\x00\xff\x30\x02" + "\x00\x1f\x08\x00" + "\x14\x0f\x40\x03"))
+	f.Add([]byte("\x02\x04\x02\x00\x02" + "\x02\x07\x05\x01" + "\x02\x3f\x60\x00"))
+	f.Add([]byte("\x00\x05\x00\x01\x00" + "\x00\x0f\x01\x00" + "\x00\x0f\x01\x00" + "\x00\xef\x7f\x02"))
+	f.Add([]byte("\x01\x02\x01\x00\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		var h [5]byte
+		copy(h[:], data)
+		maxJobs := 48
+		if h[3]&1 == 1 {
+			maxJobs = 20 // the fairness oracle nests a sim per submission
+		}
+		jobs := fuzzJobs(data[5:], maxJobs)
+		if len(jobs) == 0 {
+			return
+		}
+
+		cfg := fuzzConfig(h)
+		var batchTrace bytes.Buffer
+		cfg.Trace = &batchTrace
+		want, err := Run(cfg, jobs)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+
+		var streamTrace bytes.Buffer
+		cfg.Trace = &streamTrace
+		got, err := RunStream(cfg, workload.SliceSource(jobs), nil)
+		if err != nil {
+			t.Fatalf("RunStream: %v", err)
+		}
+		if scheduleHash(got) != scheduleHash(want) {
+			t.Fatal("streamed schedule differs from batch schedule")
+		}
+		if got.Makespan != want.Makespan ||
+			got.AcceptedCount != want.AcceptedCount ||
+			got.RejectedCount != want.RejectedCount {
+			t.Fatalf("stream census %d/%d span %v, batch %d/%d span %v",
+				got.AcceptedCount, got.RejectedCount, got.Makespan,
+				want.AcceptedCount, want.RejectedCount, want.Makespan)
+		}
+		if !bytes.Equal(streamTrace.Bytes(), batchTrace.Bytes()) {
+			t.Fatal("streamed event trace differs from batch trace")
+		}
+	})
+}

@@ -74,6 +74,9 @@ func NewLive(cfg Config, lean bool) (*Live, error) {
 	if lean {
 		e.collector.SetLean(leanRetention)
 	}
+	if cfg.Paranoid {
+		e.initRecorder()
+	}
 	return &Live{e: e, jobs: make(map[int]*job.Job)}, nil
 }
 
@@ -188,7 +191,13 @@ func (l *Live) Drain() error {
 	l.e.keepGrids = false
 	err := l.e.run(nil)
 	l.e.keepGrids = true
-	return err
+	if err != nil {
+		return err
+	}
+	// Paranoid sessions re-audit the cumulative validity trace at every
+	// quiescent point: the session's whole history so far must replay
+	// clean, not just the slice since the previous Drain.
+	return l.e.verifySchedule()
 }
 
 // Now reports the last processed instant of virtual time.

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"amjs/internal/eventq"
+	"amjs/internal/invariant"
 	"amjs/internal/job"
 	"amjs/internal/machine"
 	"amjs/internal/metrics"
@@ -71,10 +72,16 @@ type Config struct {
 	// counts as unfair. Defaults to one minute.
 	FairnessTolerance units.Duration
 
-	// Paranoid makes the engine verify its invariants after every
-	// scheduling step (machine conservation, queue/running disjointness,
-	// clock monotonicity) and panic on violation. Used by the test
-	// suite; costs a few percent of runtime.
+	// Paranoid arms the full schedule-validity oracle
+	// (internal/invariant): the engine checks its structural invariants
+	// after every scheduling step (machine conservation, queue/running
+	// disjointness) and panics on violation, records an independent
+	// event trace that is replayed and audited when the run completes
+	// (capacity, double-booking, lifecycle, reservation protection,
+	// retune rules, metrics recompute), and lets the policy cross-check
+	// its pruned window search against the exhaustive W! oracle. Used
+	// by the test suite and the fuzz/differential harnesses; costs a
+	// few percent of runtime plus the recorded trace's memory.
 	Paranoid bool
 
 	// Trace, when non-nil, receives one line per simulation event
@@ -143,6 +150,9 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		fairStarts: make(map[int]units.Time),
 		dirty:      true,
 	}
+	if cfg.Paranoid {
+		e.initRecorder()
+	}
 
 	var accepted, rejected []*job.Job
 	for i, src := range jobs {
@@ -178,6 +188,9 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		if j.State != job.Finished && j.State != job.Killed {
 			return nil, fmt.Errorf("sim: job %d never completed (state %v)", j.ID, j.State)
 		}
+	}
+	if err := e.verifySchedule(); err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -216,9 +229,10 @@ type engine struct {
 	running    map[*job.Job]machine.Alloc
 	collector  *metrics.Collector
 	fairStarts map[int]units.Time
-	sub        bool         // nested fairness simulation: no checkpoints, no oracle
-	stream     *streamState // non-nil when arrivals come from a JobSource (RunStream)
-	processed  int          // events handled since the last counter reset (livelock guard)
+	sub        bool                // nested fairness simulation: no checkpoints, no oracle
+	stream     *streamState        // non-nil when arrivals come from a JobSource (RunStream)
+	processed  int                 // events handled since the last counter reset (livelock guard)
+	rec        *invariant.Recorder // Paranoid top-level runs: the schedule-validity trace
 
 	// keepGrids keeps the checkpoint and tick grids armed even when the
 	// system drains empty. Batch runs leave it false — their grids wind
@@ -301,6 +315,9 @@ func (e *engine) step() (bool, error) {
 		case evEnd:
 			e.finish(it.Payload)
 			e.trace("end job=%d", it.Payload.ID)
+			if e.rec != nil {
+				e.rec.End(e.now, it.Payload)
+			}
 		case evArrive:
 			j := it.Payload
 			if j.State == job.Cancelled {
@@ -311,6 +328,9 @@ func (e *engine) step() (bool, error) {
 			e.arrived = append(e.arrived, j)
 			e.dirty = true
 			e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
+			if e.rec != nil {
+				e.rec.Arrive(e.now, j)
+			}
 		case evTick:
 			tick = true
 		case evCheckpoint:
@@ -341,8 +361,31 @@ func (e *engine) step() (bool, error) {
 		} else {
 			e.trace("checkpoint queue=%d", e.queue.len())
 		}
+		// The validity recorder samples the monitors' inputs before the
+		// retune, then the tunables on both sides of it — the raw facts
+		// the oracle replays the tuning rules against. The metric
+		// cursors are idempotent at a fixed instant, so the extra reads
+		// leave the Tuner's own queries bit-identical.
+		var ckQD float64
+		var ckInputs [][2]float64
+		if e.rec != nil {
+			ckQD = e.QueueDepthMinutes()
+			for _, r := range e.rec.Rules() {
+				switch r.Kind {
+				case invariant.RuleQueueDepth:
+					ckInputs = append(ckInputs, [2]float64{ckQD, 0})
+				case invariant.RuleUtilTrend:
+					ckInputs = append(ckInputs, [2]float64{
+						e.UtilWindowAvg(r.Short), e.UtilWindowAvg(r.Long)})
+				}
+			}
+		}
 		if ad, ok := e.scheduler.(sched.Adaptive); ok {
 			ad.Checkpoint(e, e)
+		}
+		if e.rec != nil {
+			bfAfter, wAfter, _ := e.tunables()
+			e.rec.Checkpoint(e.now, ckQD, ckInputs, bf, w, bfAfter, wAfter, hasTunables)
 		}
 		e.collector.Compact(e.now) // no-op outside lean streaming runs
 		if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids {
@@ -375,6 +418,16 @@ func (e *engine) step() (bool, error) {
 	}
 	if ran {
 		e.dirty = false
+		if e.rec != nil {
+			// Sample the policy's protected reservation after every
+			// executed pass; the recorder turns changes into events for
+			// the never-delayed audit.
+			if rh, ok := e.scheduler.(invariant.ReservationHolder); ok {
+				if id, ts, held := rh.ProtectedReservation(); held {
+					e.rec.Reserve(e.now, id, ts)
+				}
+			}
+		}
 	}
 
 	if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids) {
@@ -415,37 +468,21 @@ func (e *engine) cancelQueued(j *job.Job) {
 		ev.JobRemoved(j.ID)
 	}
 	e.trace("cancel job=%d", j.ID)
+	if e.rec != nil {
+		e.rec.Cancel(e.now, j)
+	}
 }
 
-// checkInvariants asserts the engine's structural invariants; any
-// violation is a simulator bug, not an input error.
+// checkInvariants asserts the engine's structural invariants via the
+// extracted checker in internal/invariant; any violation is a simulator
+// bug, not an input error.
 func (e *engine) checkInvariants() {
-	m := e.machine
-	if m.BusyNodes()+m.IdleNodes() != m.TotalNodes() {
-		panic(fmt.Sprintf("sim: node conservation violated at t=%v: busy %d + idle %d != %d",
-			e.now, m.BusyNodes(), m.IdleNodes(), m.TotalNodes()))
-	}
-	if m.UsedNodes() > m.BusyNodes() {
-		panic(fmt.Sprintf("sim: used nodes %d exceed busy nodes %d", m.UsedNodes(), m.BusyNodes()))
-	}
-	if m.RunningCount() != len(e.running) {
-		panic(fmt.Sprintf("sim: machine has %d allocations, engine tracks %d", m.RunningCount(), len(e.running)))
-	}
-	for _, q := range e.queue.jobs() {
-		if q.State != job.Queued {
-			panic(fmt.Sprintf("sim: job %d in queue with state %v", q.ID, q.State))
-		}
-		if _, running := e.running[q]; running {
-			panic(fmt.Sprintf("sim: job %d both queued and running", q.ID))
-		}
-	}
+	e.orderBuf = e.orderBuf[:0]
 	for r := range e.running {
-		if r.State != job.Running {
-			panic(fmt.Sprintf("sim: job %d in running set with state %v", r.ID, r.State))
-		}
-		if r.Start > e.now || r.Start.Add(r.Walltime) < e.now {
-			panic(fmt.Sprintf("sim: job %d running outside its window at t=%v", r.ID, e.now))
-		}
+		e.orderBuf = append(e.orderBuf, r)
+	}
+	if err := invariant.CheckEngineState(e.machine, e.now, e.queue.jobs(), e.orderBuf); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -559,6 +596,21 @@ func (e *engine) begin(j *job.Job, a machine.Alloc) {
 
 	if !e.sub {
 		fair, known := e.fairStarts[j.ID]
+		if e.rec != nil {
+			// The validity trace records the start's true footprint:
+			// the occupied midplanes and the whole-partition node count
+			// (internal fragmentation included) on machines that expose
+			// placement, the bare request on those that don't.
+			blockNodes := j.Nodes
+			var mps []int
+			if fp, ok := e.machine.(machine.Footprinter); ok {
+				if u, per, ok := fp.AllocUnits(a); ok {
+					mps = u
+					blockNodes = len(u) * per
+				}
+			}
+			e.rec.Start(e.now, j, blockNodes, mps, fair, known && e.cfg.Fairness)
+		}
 		e.collector.OnJobStart(j, fair, e.cfg.FairnessTolerance, known && e.cfg.Fairness)
 		if e.stream != nil && e.stream.sink != nil {
 			// Sink-driven runs keep the oracle map O(live jobs): the

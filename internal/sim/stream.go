@@ -97,6 +97,9 @@ func RunStream(cfg Config, src JobSource, sink func(*job.Job)) (*Result, error) 
 	if sink != nil {
 		e.collector.SetLean(leanRetention)
 	}
+	if cfg.Paranoid {
+		e.initRecorder()
+	}
 
 	if err := e.run(nil); err != nil {
 		return nil, err
@@ -111,6 +114,9 @@ func RunStream(cfg Config, src JobSource, sink func(*job.Job)) (*Result, error) 
 		}
 	} else if done := e.collector.FinishedCount() + e.collector.KilledCount(); done != st.accepted {
 		return nil, fmt.Errorf("sim: %d of %d accepted jobs completed", done, st.accepted)
+	}
+	if err := e.verifySchedule(); err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -157,6 +163,21 @@ func (e *engine) pumpArrivals() error {
 					j.ID, j.Submit, st.lastSubmit)
 			}
 			st.lastSubmit, st.haveAny = j.Submit, true
+			// Rejection is time-invariant (CanFitEver ignores the
+			// clock), so decide it at read time: a doomed job must
+			// never sit in pending, where streamLive would keep the
+			// checkpoint grid armed for work that is never injected —
+			// the batch engine, which rejects everything up front,
+			// would have let the grid lapse.
+			if !e.machine.CanFitEver(j.Nodes) {
+				jc := j.Clone()
+				jc.State = job.Submitted
+				st.rejected++
+				if st.sink == nil {
+					st.rejectedJobs = append(st.rejectedJobs, jc)
+				}
+				continue
+			}
 			st.pending = j
 		}
 		// Hold the pending job back while an earlier event exists; with
@@ -168,13 +189,6 @@ func (e *engine) pumpArrivals() error {
 		j := st.pending.Clone()
 		st.pending = nil
 		j.State = job.Submitted
-		if !e.machine.CanFitEver(j.Nodes) {
-			st.rejected++
-			if st.sink == nil {
-				st.rejectedJobs = append(st.rejectedJobs, j)
-			}
-			continue
-		}
 		st.accepted++
 		if st.sink == nil {
 			st.jobs = append(st.jobs, j)

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+
+	"amjs/internal/invariant"
+	"amjs/internal/sched"
+)
+
+// InvariantChecking implements sched.InvariantChecker: Paranoid
+// top-level runs audit the schedule with the validity oracle, and the
+// policy may enable its own self-checks (the exhaustive window-search
+// cross-check). Nested fairness engines always report false — they
+// inherit the config, but their millions of hypothetical passes would
+// make W!-sized verification the dominant cost of the run.
+func (e *engine) InvariantChecking() bool { return e.cfg.Paranoid && !e.sub }
+
+// ReservationLapsed implements invariant.LapseObserver: the policy
+// reports the protected holder startable at pass entry, discharging its
+// promise. Recorded only when the validity trace is armed.
+func (e *engine) ReservationLapsed(jobID int) {
+	if e.rec != nil {
+		e.rec.Lapse(e.now, jobID)
+	}
+}
+
+// initRecorder arms the schedule-validity recorder for a Paranoid run:
+// every arrival, start, end, cancel, checkpoint, and protected
+// reservation change lands in an independent replayable trace that
+// verifySchedule audits once the run completes. Called after the
+// machine and scheduler clones exist.
+func (e *engine) initRecorder() {
+	e.rec = invariant.NewRecorder(e.machine.TotalNodes(), e.cfg.FairnessTolerance)
+	var rules []invariant.TuningRule
+	rulesKnown := false
+	if rs, ok := e.scheduler.(invariant.RuleSource); ok {
+		rules, rulesKnown = rs.TuningRules()
+	}
+	_, adaptive := e.scheduler.(sched.Adaptive)
+	e.rec.DescribeScheduler(rules, rulesKnown, adaptive)
+}
+
+// verifySchedule replays the recorded trace through the invariant
+// checker against the collector-reported aggregates. A violation is an
+// engine or policy bug: the run's output cannot be trusted, so the
+// caller fails the whole run.
+func (e *engine) verifySchedule() error {
+	if e.rec == nil {
+		return nil
+	}
+	rep := invariant.Reported{
+		AvgWaitMinutes: e.collector.AvgWaitMinutes(),
+		UtilAvg:        e.collector.UtilAvg(),
+		SpanSeconds:    e.collector.Span().Seconds(),
+		Started:        e.collector.StartedCount(),
+		Finished:       e.collector.FinishedCount(),
+		Killed:         e.collector.KilledCount(),
+		UnfairCount:    e.collector.UnfairCount(),
+		FairKnownCount: e.collector.FairKnownCount(),
+	}
+	if vs := invariant.Check(e.rec.Trace(), rep); len(vs) > 0 {
+		return fmt.Errorf("sim: schedule validity check failed: %s", invariant.Join(vs))
+	}
+	return nil
+}

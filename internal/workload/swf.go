@@ -218,6 +218,12 @@ func parseSWFLine(raw string, lineNo, ppn int, opt SWFOptions) (j *job.Job, skip
 	if runSec <= 0 || procs <= 0 || submit < 0 {
 		return nil, true, nil
 	}
+	// Job ids must be positive (0 is the engine's "no job" sentinel), and
+	// a processor count beyond any real machine would overflow the node
+	// arithmetic below. Both mark unusable records, not corrupt ones.
+	if id <= 0 || procs > 1<<31 {
+		return nil, true, nil
+	}
 	nodes := int((procs + int64(ppn) - 1) / int64(ppn))
 	if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
 		return nil, true, nil
