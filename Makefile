@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke fuzz fuzz-corpus verify bench bench-compare run-daemon clean
+.PHONY: all build test race race-bench vet bench-smoke fuzz fuzz-corpus verify bench bench-compare profile run-daemon clean
 
 all: build
 
@@ -15,6 +15,14 @@ test:
 # under the race detector.
 race:
 	$(GO) test -race ./internal/core ./internal/sim ./internal/parallel ./internal/server
+
+# race-bench replays the at-scale end-to-end benchmark once under the
+# race detector with the work-stealing window search at eight workers:
+# the full simulation drives the search's chunked claim counter, the
+# shared atomic bound, and the per-branch plan arenas concurrently, a
+# surface the unit tests only cover on synthetic windows.
+race-bench:
+	$(GO) test -race -run '^$$' -bench 'SimAtScale/search=par/workers=8' -benchtime 1x .
 
 vet:
 	$(GO) vet ./...
@@ -46,7 +54,7 @@ fuzz: fuzz-corpus
 # test. The benchmark comparison runs too, but non-fatally: measured
 # numbers vary with the machine, so a regression there warns without
 # blocking the gate.
-verify: vet build test race fuzz-corpus bench-smoke
+verify: vet build test race race-bench fuzz-corpus bench-smoke
 	-$(MAKE) bench-compare
 
 # bench runs the measured scheduling benchmarks (window-search micro
@@ -59,7 +67,14 @@ bench:
 # previous PR's and fails if anything shared regressed by more than
 # 20% ns/op (see cmd/benchcompare).
 bench-compare:
-	$(GO) run ./cmd/benchcompare BENCH_2.json BENCH_3.json
+	$(GO) run ./cmd/benchcompare BENCH_3.json BENCH_4.json
+
+# profile captures CPU and heap profiles of the at-scale simulation
+# (the serial variant, so the profile reads as one straight call tree)
+# for pprof: `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'SimAtScale/search=serial' -benchtime 5x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
 
 # run-daemon boots a local scheduling daemon at 60x wall speed on the
 # 512-node synthetic machine; see README "Running the daemon".

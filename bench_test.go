@@ -307,7 +307,14 @@ func BenchmarkSimAtScale(b *testing.B) {
 	for _, search := range []struct {
 		name    string
 		workers int
-	}{{"serial", 0}, {"par", -1}} {
+	}{
+		{"serial", 0},
+		{"par", -1},
+		{"par/workers=1", 1},
+		{"par/workers=2", 2},
+		{"par/workers=4", 4},
+		{"par/workers=8", 8},
+	} {
 		b.Run("search="+search.name, func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
 				s := core.NewMetricAware(0.5, 5)

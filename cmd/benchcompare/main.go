@@ -5,6 +5,12 @@
 //
 //	benchcompare [-max-regress 0.20] OLD.json NEW.json
 //
+// The diff is grouped by benchmark family (the name up to the first
+// "/"), and families that sweep the parallel search's worker count
+// ("…/workers=N" sub-benchmarks) additionally get a scaling table:
+// speedup and parallel efficiency of every worker count against the
+// family's workers=1 row.
+//
 // When the new artifact embeds a "baseline" section (pre-change
 // end-to-end numbers), the speedup against it is reported as well;
 // that comparison is informational and never fails the run.
@@ -19,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 type bench struct {
@@ -90,6 +99,65 @@ func byName(bs []bench) map[string]bench {
 	return m
 }
 
+// family is the benchmark's top-level name — everything before the
+// first sub-benchmark separator — used to group the diff output.
+func family(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// reportWorkerScaling prints, for every benchmark family that sweeps a
+// "…/workers=N" matrix, each worker count's speedup and parallel
+// efficiency relative to the family's workers=1 row. Purely
+// informational: scaling depends on the measurement host's core count
+// (the env section records it), so it never fails the run.
+func reportWorkerScaling(bs []bench) {
+	type row struct {
+		workers int
+		b       bench
+	}
+	groups := make(map[string][]row)
+	var order []string
+	for _, b := range bs {
+		i := strings.LastIndex(b.Name, "/workers=")
+		if i < 0 {
+			continue
+		}
+		w, err := strconv.Atoi(b.Name[i+len("/workers="):])
+		if err != nil || w <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		prefix := b.Name[:i]
+		if _, seen := groups[prefix]; !seen {
+			order = append(order, prefix)
+		}
+		groups[prefix] = append(groups[prefix], row{w, b})
+	}
+	for _, prefix := range order {
+		rows := groups[prefix]
+		if len(rows) < 2 {
+			continue
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].workers < rows[j].workers })
+		base := rows[0]
+		for _, r := range rows {
+			if r.workers == 1 {
+				base = r
+				break
+			}
+		}
+		fmt.Printf("\nworker scaling for %s (vs workers=%d):\n", prefix, base.workers)
+		for _, r := range rows {
+			speedup := base.b.NsPerOp / r.b.NsPerOp
+			eff := speedup * float64(base.workers) / float64(r.workers)
+			fmt.Printf("  workers=%-3d %14.0f ns/op  %5.2fx  %5.1f%% efficiency\n",
+				r.workers, r.b.NsPerOp, speedup, eff*100)
+		}
+	}
+}
+
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.20,
 		"maximum allowed fractional ns/op regression before failing")
@@ -113,10 +181,18 @@ func main() {
 
 	oldBy := byName(oldArt.Benchmarks)
 	shared, regressions := 0, 0
+	lastFamily := ""
 	for _, nb := range newArt.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok || ob.NsPerOp <= 0 {
 			continue
+		}
+		if fam := family(nb.Name); fam != lastFamily {
+			if lastFamily != "" {
+				fmt.Println()
+			}
+			fmt.Printf("%s:\n", fam)
+			lastFamily = fam
 		}
 		shared++
 		change := nb.NsPerOp/ob.NsPerOp - 1
@@ -125,7 +201,7 @@ func main() {
 			status = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-52s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+		fmt.Printf("  %-50s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, change*100, status)
 	}
 	if shared == 0 {
@@ -133,6 +209,8 @@ func main() {
 			flag.Arg(0), flag.Arg(1))
 		os.Exit(2)
 	}
+
+	reportWorkerScaling(newArt.Benchmarks)
 
 	if newArt.Baseline != nil {
 		fmt.Printf("\nspeedup vs embedded baseline (%s):\n", newArt.Baseline.Note)

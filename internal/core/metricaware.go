@@ -97,6 +97,24 @@ type MetricAware struct {
 	// sampling of large windows (see shouldVerifyWindow).
 	verifyCount int
 
+	// lastHorizon and lastHorizonOK implement sched.PassBounder: the
+	// submit-time horizon of the last pass's outcome. Every started
+	// job, every reservation the pass committed, every job in a window
+	// up to and including the last acted-on window, and the earliest
+	// holders of the queue's walltime extrema (which anchor the
+	// ScoreRuntime scale) contribute their submit times; a pass whose
+	// outcome provably reached no deeper than H behaves identically on
+	// any submit-prefix of the queue that extends to H.
+	lastHorizon   units.Time
+	lastHorizonOK bool
+
+	// lastQuiescent implements sched.PassQuiescer: true when the last
+	// pass started nothing, so repeating it on unchanged state at any
+	// later instant is provably the same no-op (every plan instant is
+	// absolute and the earliest of them is preceded by an end event;
+	// see the interface contract).
+	lastQuiescent bool
+
 	// order overrides the queue prioritization when non-nil (used by the
 	// multi-metric extension); the default is Prioritize with BF.
 	order func(now units.Time, queue []*job.Job) []*job.Job
@@ -111,10 +129,11 @@ type MetricAware struct {
 	// clones concurrently); AdoptScratch transplants them from a retired
 	// clone instead. branches holds one private search state per
 	// first-position choice of the parallel search.
-	search    *permSearch
-	prio      *prioScratch
-	branches  []*permSearch
-	branchRes []branchResult
+	search     *permSearch
+	prio       *prioScratch
+	branches   []*permSearch
+	branchRes  []branchResult
+	blockedBuf []*job.Job
 }
 
 // NewMetricAware returns a metric-aware scheduler with the given balance
@@ -149,6 +168,7 @@ func (s *MetricAware) Clone() sched.Scheduler {
 	c.prio = nil
 	c.branches = nil
 	c.branchRes = nil
+	c.blockedBuf = nil
 	return &c
 }
 
@@ -170,6 +190,9 @@ func (s *MetricAware) AdoptScratch(from sched.Scheduler) {
 	if s.branches == nil {
 		s.branches, f.branches = f.branches, nil
 		s.branchRes, f.branchRes = f.branchRes, nil
+	}
+	if s.blockedBuf == nil {
+		s.blockedBuf, f.blockedBuf = f.blockedBuf, nil
 	}
 }
 
@@ -200,6 +223,17 @@ func (s *MetricAware) JobRemoved(id int) {
 	}
 }
 
+// LastPassHorizon implements sched.PassBounder. See the contract on
+// sched.PassBounder; ok is false when the pass ran under a custom
+// order hook, whose dependence on the queue the scheduler cannot
+// bound.
+func (s *MetricAware) LastPassHorizon() (units.Time, bool) {
+	return s.lastHorizon, s.lastHorizonOK
+}
+
+// LastPassQuiescent implements sched.PassQuiescer.
+func (s *MetricAware) LastPassQuiescent() bool { return s.lastQuiescent }
+
 // placement is one job's slot in a tentative window schedule.
 type placement struct {
 	j     *job.Job
@@ -209,6 +243,8 @@ type placement struct {
 
 // Schedule implements sched.Scheduler.
 func (s *MetricAware) Schedule(env sched.Env) {
+	s.lastHorizon, s.lastHorizonOK = 0, true
+	s.lastQuiescent = true
 	queue := env.Queue()
 	if len(queue) == 0 {
 		return
@@ -233,6 +269,7 @@ func (s *MetricAware) Schedule(env sched.Env) {
 	if s.Conservative || s.reservedID != 0 {
 		idle := env.Machine().IdleNodes()
 		fits, held := false, false
+		var heldSubmit units.Time
 		for _, j := range queue {
 			if j.Nodes <= idle {
 				fits = true
@@ -240,21 +277,30 @@ func (s *MetricAware) Schedule(env sched.Env) {
 			}
 			if j.ID == s.reservedID {
 				held = true
+				heldSubmit = j.Submit
 			}
 		}
 		if !fits && (s.Conservative || held) {
+			// The no-op verdict depends on every queued job fitting
+			// nowhere (monotone under queue subsets) and, in EASY mode,
+			// on the reserved job still being queued — the only job
+			// whose presence the horizon must pin.
+			s.lastHorizon = heldSubmit
 			return
 		}
 	}
 
 	var sorted []*job.Job
+	aggHorizon := units.Time(0)
 	if s.order != nil {
 		sorted = s.order(now, queue)
+		s.lastHorizonOK = false
 	} else {
 		if s.prio == nil {
 			s.prio = &prioScratch{}
 		}
 		sorted = s.prio.prioritize(now, queue, s.BF)
+		aggHorizon = s.prio.aggHorizon
 	}
 	plan := env.Machine().Plan(now)
 	w := s.W
@@ -267,11 +313,18 @@ func (s *MetricAware) Schedule(env sched.Env) {
 	// only improve on the one committed last pass (jobs never outlive
 	// their walltimes).
 	reserved := false
+	acted := -1
+	blocked := s.blockedBuf
 	if s.reservedID != 0 {
 		held := false
 		for _, j := range queue {
 			if j.ID != s.reservedID {
 				continue
+			}
+			// Whether re-committed, lapsed, or unplaceable, the verdict
+			// hangs on this job's presence and plan probe.
+			if j.Submit > s.lastHorizon {
+				s.lastHorizon = j.Submit
 			}
 			if ts, hint := plan.EarliestStart(j.Nodes, j.Walltime); ts != units.Forever {
 				if ts == now {
@@ -344,7 +397,7 @@ func (s *MetricAware) Schedule(env sched.Env) {
 				}
 			}
 		}
-		var blocked []*job.Job
+		blocked = blocked[:0]
 		for _, idx := range perm {
 			j := window[idx]
 			ts, hint := plan.EarliestStart(j.Nodes, j.Walltime)
@@ -354,6 +407,8 @@ func (s *MetricAware) Schedule(env sched.Env) {
 			if ts == now {
 				if env.StartAt(j, hint) {
 					plan.Commit(j.Nodes, now, j.Walltime, hint)
+					s.lastQuiescent = false
+					acted = end
 					if j.ID == s.reservedID {
 						s.reservedID = 0
 					}
@@ -370,6 +425,7 @@ func (s *MetricAware) Schedule(env sched.Env) {
 			}
 			if s.Conservative || !reserved {
 				plan.Commit(j.Nodes, ts, j.Walltime, hint)
+				acted = end
 				reserved = true
 				if !s.Conservative {
 					s.reservedID = j.ID
@@ -390,12 +446,37 @@ func (s *MetricAware) Schedule(env sched.Env) {
 					continue
 				}
 				plan.Commit(j.Nodes, ts, j.Walltime, hint)
+				acted = end
 				reserved = true
 				if !s.Conservative {
 					s.reservedID = j.ID
 					s.reservedStart = ts
 					break
 				}
+			}
+		}
+	}
+
+	s.blockedBuf = blocked[:0]
+	if r, ok := env.Machine().(machine.PlanRecycler); ok {
+		r.Recycle(plan)
+	}
+
+	// Close the pass horizon (sched.PassBounder). Windows past the last
+	// acted-on one committed nothing — every job there probed blocked or
+	// unplaceable against a plan no later window changes — so on any
+	// submit-prefix retaining the acted prefix and the score anchors,
+	// the rebuilt tail windows still act on nothing and the outcome is
+	// identical. Pure no-op passes (acted < 0) need no anchors at all:
+	// with no start and no reservation movement anywhere, no reordering
+	// of a sub-queue can conjure one from the same plan.
+	if acted > 0 {
+		if aggHorizon > s.lastHorizon {
+			s.lastHorizon = aggHorizon
+		}
+		for _, j := range sorted[:acted] {
+			if j.Submit > s.lastHorizon {
+				s.lastHorizon = j.Submit
 			}
 		}
 	}
@@ -547,7 +628,7 @@ func (s *MetricAware) bestPermutationParallel(plan machine.Plan, window []*job.J
 	var shared atomic.Pointer[searchBound]
 	parallel.ForEach(n, workers, func(c int) error {
 		bs := s.branches[c]
-		clone := plan.Clone()
+		clone := bs.clonePlan(plan)
 		bs.identity(n) // size the incumbent buffer
 		bs.begin(clone, window, now, s.UtilizationFirst)
 		bs.shared = &shared
@@ -566,6 +647,7 @@ func (s *MetricAware) bestPermutationParallel(plan machine.Plan, window []*job.J
 			clone.Commit(j.Nodes, ts, j.Walltime, hint)
 		}
 		bs.dfs(1, span, nodes)
+		bs.arena = bs.plan // retire the private clone for the next search
 		bs.plan, bs.window, bs.shared = nil, nil, nil
 		results[c] = branchResult{have: bs.haveBest, span: bs.bestSpan, nodes: bs.bestNodes, perm: bs.best}
 		return nil
@@ -617,7 +699,22 @@ type permSearch struct {
 	// so the lex-earliest optimum always survives in its branch.
 	shared *atomic.Pointer[searchBound]
 
+	// arena is the branch's retired private plan clone, reused by the
+	// next search on this branch (see machine.PlanCloner). Each branch
+	// state is claimed by exactly one worker per search, so the arena
+	// never crosses goroutines within a pass.
+	arena machine.Plan
+
 	memo [][]probeEntry // per-depth sibling probe memo
+}
+
+// clonePlan clones src for this branch's private use, reusing the
+// branch's retired arena clone when the plan supports it.
+func (ps *permSearch) clonePlan(src machine.Plan) machine.Plan {
+	if c, ok := src.(machine.PlanCloner); ok && ps.arena != nil {
+		return c.CloneInto(ps.arena)
+	}
+	return src.Clone()
 }
 
 // sharedWorse reports whether a subtree whose best conceivable

@@ -38,9 +38,19 @@ func oracleWideWindow(r *rand.Rand, n int) []*job.Job {
 // window widths up to the search cap, and both objective modes.
 func TestParallelSearchDeterministic(t *testing.T) {
 	const rounds = 600
+	workerCounts := []int{1, 2, 4, 8, 16}
 	for _, utilFirst := range []bool{false, true} {
 		serial := NewMetricAware(0.5, maxPermWindow)
 		serial.UtilizationFirst = utilFirst
+		// One long-lived scheduler per worker count, so later rounds hit
+		// the branch plan arenas (machine.PlanCloner reuse) that a fresh
+		// scheduler's first search would miss.
+		pars := make([]*MetricAware, len(workerCounts))
+		for wi, workers := range workerCounts {
+			pars[wi] = NewMetricAware(0.5, maxPermWindow)
+			pars[wi].UtilizationFirst = utilFirst
+			pars[wi].SearchWorkers = workers
+		}
 		r := rand.New(rand.NewSource(23))
 		for i := 0; i < rounds; i++ {
 			m := oracleMachine(r)
@@ -49,10 +59,8 @@ func TestParallelSearchDeterministic(t *testing.T) {
 			plan := m.Plan(now)
 			want := append([]int(nil), serial.bestPermutation(plan, window, now)...)
 
-			for _, workers := range []int{2, 8} {
-				par := NewMetricAware(0.5, maxPermWindow)
-				par.UtilizationFirst = utilFirst
-				par.SearchWorkers = workers
+			for wi, workers := range workerCounts {
+				par := pars[wi]
 				got := par.bestPermutation(m.Plan(now), window, now)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("utilFirst=%v round %d workers=%d on %s: parallel picked %v, serial %v (window %v)",

@@ -61,6 +61,16 @@ func Prioritize(now units.Time, queue []*job.Job, bf float64) []*job.Job {
 type prioScratch struct {
 	jobs    []*job.Job
 	entries []prioEntry
+
+	// aggHorizon is the latest submit time among the earliest-submitted
+	// holders of the queue's walltime extrema after the last prioritize
+	// call. ScoreRuntime scales every job's shortness score by the
+	// queue-wide [wallMin, wallMax] band, so any submit-prefix of the
+	// queue extending to aggHorizon retains both extrema and scores all
+	// shared jobs identically. (The wait score's anchor, the maximum
+	// wait, belongs to the earliest-submitted job of all and survives
+	// every nonempty prefix for free.) Feeds sched.PassBounder.
+	aggHorizon units.Time
 }
 
 // prioEntry pairs a job with its balanced priority so the sort moves
@@ -81,16 +91,21 @@ func (p *prioScratch) prioritize(now units.Time, queue []*job.Job, bf float64) [
 	}
 	var waitMax units.Duration
 	wallMin, wallMax := queue[0].Walltime, queue[0].Walltime
+	minHold, maxHold := queue[0].Submit, queue[0].Submit
 	for _, j := range queue {
 		if w := j.WaitAt(now); w > waitMax {
 			waitMax = w
 		}
-		if j.Walltime < wallMin {
-			wallMin = j.Walltime
+		if j.Walltime < wallMin || (j.Walltime == wallMin && j.Submit < minHold) {
+			wallMin, minHold = j.Walltime, j.Submit
 		}
-		if j.Walltime > wallMax {
-			wallMax = j.Walltime
+		if j.Walltime > wallMax || (j.Walltime == wallMax && j.Submit < maxHold) {
+			wallMax, maxHold = j.Walltime, j.Submit
 		}
+	}
+	p.aggHorizon = minHold
+	if maxHold > p.aggHorizon {
+		p.aggHorizon = maxHold
 	}
 	if cap(p.entries) < len(queue) {
 		p.entries = make([]prioEntry, 0, len(queue))

@@ -216,6 +216,16 @@ func (t *Tuner) AdoptScratch(from sched.Scheduler) {
 // scheduler, which may hold a protected reservation for the job.
 func (t *Tuner) JobRemoved(id int) { t.base.JobRemoved(id) }
 
+// LastPassHorizon implements sched.PassBounder by delegation: the pass
+// outcome is the wrapped policy's, so its bound applies verbatim.
+func (t *Tuner) LastPassHorizon() (units.Time, bool) { return t.base.LastPassHorizon() }
+
+// LastPassQuiescent implements sched.PassQuiescer by delegation: the
+// pass outcome is the wrapped policy's, so its promise applies
+// verbatim. (Retunes happen at checkpoints, which dirty the engine and
+// force the next pass regardless.)
+func (t *Tuner) LastPassQuiescent() bool { return t.base.LastPassQuiescent() }
+
 // ProtectedReservation implements invariant.ReservationHolder by
 // forwarding to the wrapped scheduler.
 func (t *Tuner) ProtectedReservation() (jobID int, start units.Time, held bool) {

@@ -9,8 +9,6 @@
 package eventq
 
 import (
-	"container/heap"
-
 	"amjs/internal/units"
 )
 
@@ -31,18 +29,31 @@ type Queue[T any] struct {
 // Len returns the number of pending events.
 func (q *Queue[T]) Len() int { return len(q.h) }
 
-// Push schedules an event.
+// Push schedules an event. The heap is hand-rolled rather than built on
+// container/heap: the standard interface passes items through `any`,
+// boxing every Push and Pop onto the garbage-collected heap, which at
+// full-Intrepid scale was two allocations per simulated event.
 func (q *Queue[T]) Push(t units.Time, kind int, payload T) {
 	q.seq++
-	heap.Push(&q.h, Item[T]{Time: t, Kind: kind, Seq: q.seq, Payload: payload})
+	q.h = append(q.h, Item[T]{Time: t, Kind: kind, Seq: q.seq, Payload: payload})
+	q.h.siftUp(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event; ok is false when empty.
 func (q *Queue[T]) Pop() (it Item[T], ok bool) {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return it, false
 	}
-	return heap.Pop(&q.h).(Item[T]), true
+	it = q.h[0]
+	q.h[0] = q.h[n-1]
+	var zero T
+	q.h[n-1].Payload = zero // release the payload reference
+	q.h = q.h[:n-1]
+	if n > 1 {
+		q.h.siftDown(0)
+	}
+	return it, true
 }
 
 // Peek returns the earliest event without removing it; ok is false when
@@ -84,10 +95,8 @@ func (q *Queue[T]) Remap(f func(T) T) {
 
 type itemHeap[T any] []Item[T]
 
-func (h itemHeap[T]) Len() int { return len(h) }
-
-func (h itemHeap[T]) Less(i, j int) bool {
-	a, b := h[i], h[j]
+func (h itemHeap[T]) less(i, j int) bool {
+	a, b := &h[i], &h[j]
 	if a.Time != b.Time {
 		return a.Time < b.Time
 	}
@@ -97,14 +106,31 @@ func (h itemHeap[T]) Less(i, j int) bool {
 	return a.Seq < b.Seq
 }
 
-func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h itemHeap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-func (h *itemHeap[T]) Push(x any) { *h = append(*h, x.(Item[T])) }
-
-func (h *itemHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h itemHeap[T]) siftDown(i int) {
+	n := len(h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && h.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }

@@ -95,6 +95,22 @@ func (f *Flat) Clone() Machine {
 	return c
 }
 
+// CloneInto implements InPlaceCloner (see the interface contract): the
+// allocation table is copied into dst's map when dst is a retired
+// clone of the same size.
+func (f *Flat) CloneInto(dst Machine) Machine {
+	d, ok := dst.(*Flat)
+	if !ok || d == f || d.total != f.total {
+		return f.Clone()
+	}
+	d.nextID, d.busy, d.used = f.nextID, f.busy, f.used
+	clear(d.allocs)
+	for k, v := range f.allocs {
+		d.allocs[k] = v
+	}
+	return d
+}
+
 // Plan implements Machine: the classic availability profile over time.
 func (f *Flat) Plan(now units.Time) Plan {
 	ends := make([]units.Time, 0, len(f.allocs))

@@ -141,6 +141,50 @@ type Plan interface {
 // PlanMark is an opaque checkpoint token returned by Plan.Save.
 type PlanMark int
 
+// InPlaceCloner is an optional Machine capability: CloneInto is Clone
+// with buffer reuse. When dst is a retired clone with the same
+// geometry, the state is copied into dst's backing storage and dst is
+// returned; otherwise a fresh Clone is allocated. The fairness oracle
+// re-clones the machine on every nested no-later-arrival run and
+// retires the clone when the run completes, so reusing it makes forks
+// allocation-free after the first. dst must not be in use.
+type InPlaceCloner interface {
+	CloneInto(dst Machine) Machine
+}
+
+// CloneMachineInto clones src, reusing dst's storage when src supports
+// in-place cloning and dst is compatible; dst may be nil.
+func CloneMachineInto(src, dst Machine) Machine {
+	if c, ok := src.(InPlaceCloner); ok && dst != nil {
+		return c.CloneInto(dst)
+	}
+	return src.Clone()
+}
+
+// PlanCloner is an optional Plan capability: CloneInto is Clone with
+// buffer reuse. When dst is a retired plan of the same machine
+// instance, the snapshot is copied into dst's backing arrays and dst is
+// returned; otherwise a fresh clone is allocated, exactly as Clone
+// would. The parallel window search keeps one retired clone per search
+// branch as a private arena, so a steady-state search clones plans
+// without touching the heap. dst must not be in use.
+type PlanCloner interface {
+	CloneInto(dst Plan) Plan
+}
+
+// PlanRecycler is an optional Machine capability: a machine that keeps
+// a pool of retired planner objects accepts finished plans back through
+// Recycle, so a scheduler that obtains one plan per pass reuses the
+// same buffers every pass instead of re-allocating the availability
+// snapshot each time. Recycling is strictly an optimization: callers
+// may skip it (the plan is then garbage), but after handing a plan to
+// Recycle they must not touch it again — the machine will reset and
+// return it from a future Plan call. Plans from a different machine
+// instance (a clone's plan offered to the original) are ignored.
+type PlanRecycler interface {
+	Recycle(Plan)
+}
+
 // nextPow2 returns the smallest power of two >= n (n >= 1).
 func nextPow2(n int) int {
 	return 1 << uint(bits.Len(uint(n-1)))

@@ -35,6 +35,12 @@ type Partition struct {
 	lastMask uint64       // valid-bit mask for the final bitset word
 	allocs   map[Alloc]partAlloc
 	used     int // sum of requested node counts of running jobs
+
+	// planPool holds retired planner objects handed back through Recycle,
+	// so the one-plan-per-pass pattern stops allocating after warm-up. A
+	// small freelist (not a single slot) because some policies keep two
+	// plans live within one pass (a commitment view plus a free view).
+	planPool []*partPlan
 }
 
 type partAlloc struct {
@@ -293,27 +299,70 @@ func (p *Partition) Clone() Machine {
 	return c
 }
 
+// CloneInto implements InPlaceCloner: the occupancy state lands in
+// dst's storage when dst is a retired clone of the same geometry. The
+// destination keeps its own plan pool — its pooled planners point at
+// it and remain reusable across re-clones.
+func (p *Partition) CloneInto(dst Machine) Machine {
+	d, ok := dst.(*Partition)
+	if !ok || d == p || d.midplanes != p.midplanes || d.perMP != p.perMP {
+		return p.Clone()
+	}
+	d.nextID, d.used, d.busyMPs = p.nextID, p.used, p.busyMPs
+	copy(d.bits, p.bits)
+	copy(d.relEnd, p.relEnd)
+	clear(d.allocs)
+	for k, v := range p.allocs {
+		d.allocs[k] = v
+	}
+	return d
+}
+
 // Plan implements Machine. The planner snapshots the machine's
 // per-midplane release index: base[i] is the instant midplane i frees
 // under walltime estimates (now when idle or freeing this instant), so
-// building a plan is two small allocations and one array copy — no
-// allocation-table walk, no per-midplane interval lists.
+// building a plan is one array fill — no allocation-table walk, no
+// per-midplane interval lists — reusing a recycled planner's buffers
+// when the pool has one.
 func (p *Partition) Plan(now units.Time) Plan {
-	base := make([]units.Time, p.midplanes)
-	overdue := false
-	for i := range base {
+	var pl *partPlan
+	if n := len(p.planPool); n > 0 {
+		pl = p.planPool[n-1]
+		p.planPool[n-1] = nil
+		p.planPool = p.planPool[:n-1]
+		pl.ovl = pl.ovl[:0]
+		for k, rel := range pl.blockRel {
+			pl.blockRel[k] = rel[:0] // invalidate, keep capacity
+		}
+	} else {
+		pl = &partPlan{m: p, base: make([]units.Time, p.midplanes)}
+	}
+	pl.now = now
+	pl.overdue = false
+	for i := range pl.base {
 		if e := p.relEnd[i]; p.midplaneBusy(i) && e > now {
-			base[i] = e
+			pl.base[i] = e
 		} else {
-			base[i] = now
+			pl.base[i] = now
 			if p.midplaneBusy(i) {
 				// A busy midplane at or past its walltime-based release
 				// estimate: machine-occupied but profile-free at now.
-				overdue = true
+				pl.overdue = true
 			}
 		}
 	}
-	return &partPlan{now: now, m: p, base: base, overdue: overdue}
+	return pl
+}
+
+// Recycle implements PlanRecycler: a finished plan returns to the pool
+// for the next Plan call to reset and reuse. Plans belonging to a
+// different Partition instance (clones) are ignored rather than
+// adopted — their base buffer is sized for that instance, and pooling
+// across instances would let a clone's pass corrupt the original's.
+func (p *Partition) Recycle(pl Plan) {
+	if pp, ok := pl.(*partPlan); ok && pp.m == p {
+		p.planPool = append(p.planPool, pp)
+	}
 }
 
 // ival is a half-open busy interval [from, to).
@@ -401,6 +450,24 @@ func (pl *partPlan) Clone() Plan {
 	}
 }
 
+// CloneInto implements PlanCloner: the snapshot lands in dst's buffers
+// when dst is a retired plan of the same machine (base lengths then
+// match by construction), falling back to a fresh Clone otherwise.
+func (pl *partPlan) CloneInto(dst Plan) Plan {
+	d, ok := dst.(*partPlan)
+	if !ok || d == pl || d.m != pl.m {
+		return pl.Clone()
+	}
+	d.now = pl.now
+	d.overdue = pl.overdue
+	copy(d.base, pl.base)
+	d.ovl = append(d.ovl[:0], pl.ovl...)
+	for k, rel := range d.blockRel {
+		d.blockRel[k] = rel[:0] // invalidate the cursor cache, keep capacity
+	}
+	return d
+}
+
 // Save implements Plan: the mark is the overlay-log length.
 func (pl *partPlan) Save() PlanMark { return PlanMark(len(pl.ovl)) }
 
@@ -425,16 +492,25 @@ func (pl *partPlan) widthClass(width int) int {
 
 // releases returns the per-block earliest-free cursor for the width:
 // releases(w)[b] is the earliest instant aligned block b (starting at
-// midplane b*w) is free of running jobs, ignoring overlays.
+// midplane b*w) is free of running jobs, ignoring overlays. A class's
+// cursor is valid when built for this plan (non-zero length; every
+// class has at least one block); recycled plans keep the capacity and
+// rebuild lazily.
 func (pl *partPlan) releases(width int) []units.Time {
 	if pl.blockRel == nil {
 		pl.blockRel = make([][]units.Time, bits.Len(uint(pl.m.maxPow2))+1)
 	}
 	k := pl.widthClass(width)
-	if rel := pl.blockRel[k]; rel != nil {
+	n := pl.m.midplanes / width
+	if rel := pl.blockRel[k]; len(rel) == n {
 		return rel
 	}
-	rel := make([]units.Time, pl.m.midplanes/width)
+	rel := pl.blockRel[k]
+	if cap(rel) >= n {
+		rel = rel[:n]
+	} else {
+		rel = make([]units.Time, n)
+	}
 	for b := range rel {
 		mx := pl.now
 		for i := b * width; i < (b+1)*width; i++ {

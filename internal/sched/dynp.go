@@ -86,6 +86,7 @@ func (d *DynP) estimateAvgWait(env Env, order Order, queue []*job.Job) float64 {
 		total += float64(j.WaitAt(ts))
 		n++
 	}
+	recyclePlan(env.Machine(), plan)
 	if n == 0 {
 		return 0
 	}

@@ -110,4 +110,5 @@ func (f *FairShare) Schedule(env Env) {
 			reservedOne = true
 		}
 	}
+	recyclePlan(env.Machine(), plan)
 }

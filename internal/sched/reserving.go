@@ -94,6 +94,7 @@ func (r *Reserving) Schedule(env Env) {
 			reservedOne = true
 		}
 	}
+	recyclePlan(env.Machine(), plan)
 }
 
 // scheduleRelaxed is the relaxed-backfilling pass: the protected
@@ -134,11 +135,14 @@ func (r *Reserving) scheduleRelaxed(env Env, queue []*job.Job) {
 			free.Commit(j.Nodes, now, j.Walltime, hint)
 		}
 	}
+	recyclePlan(env.Machine(), free)
 }
 
 // ReservationFor exposes, for tests and diagnostics, the start time the
 // head job of the given queue order would be reserved at.
 func (r *Reserving) ReservationFor(env Env, j *job.Job) units.Time {
-	ts, _ := env.Machine().Plan(env.Now()).EarliestStart(j.Nodes, j.Walltime)
+	plan := env.Machine().Plan(env.Now())
+	ts, _ := plan.EarliestStart(j.Nodes, j.Walltime)
+	recyclePlan(env.Machine(), plan)
 	return ts
 }

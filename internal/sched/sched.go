@@ -103,6 +103,60 @@ type Evictor interface {
 	JobRemoved(id int)
 }
 
+// PassBounder is implemented by schedulers that can bound, after each
+// Schedule call, how deep into the arrival stream the pass's outcome
+// reached. LastPassHorizon reports a submit-time horizon H with this
+// contract: for any cutoff T >= H, running the same pass (same machine
+// state, same plan inputs, same pre-pass scheduler state) on the
+// sub-queue {j : j.Submit <= T} would have produced the identical
+// outcome — the same started jobs with the same placements and the
+// same post-pass scheduler state. ok reports whether the bound is
+// valid; a pass the scheduler cannot bound (a custom order hook, an
+// algorithm that inspects every queued job) must return ok == false so
+// the caller assumes the whole queue mattered.
+//
+// The fairness oracle uses the horizon to keep deferred no-later-
+// arrival worlds glued to the main schedule: a pending batch that
+// arrived at instant T stays byte-identical to the main engine while
+// every executed pass reports H <= T, so its fair starts resolve
+// without simulating anything.
+type PassBounder interface {
+	LastPassHorizon() (units.Time, bool)
+}
+
+// PassQuiescer is implemented by schedulers whose passes are provably
+// time-invariant on unchanged state: LastPassQuiescent reports whether
+// repeating the last Schedule call at any later instant, with the same
+// machine state, queue, and scheduler state, would again start nothing
+// and leave every piece of persistent scheduler state untouched. The
+// engine uses it to elide due passes outright until the next
+// schedule-relevant event, even when Eq. 4's δ says some queued job
+// fits the idle nodes (a backfill candidate held off by a protected
+// reservation keeps δ true for hours of simulated time).
+//
+// The claim is sound for policies whose start and reservation decisions
+// depend on the plan alone, not the clock: every plan instant (a
+// running job's walltime-bound release, a reservation's earliest fit)
+// is absolute, and the first of them to arrive is preceded by the end
+// event that frees the nodes — which dirties the engine and forces a
+// real pass. Time-varying priority scores may reorder the queue
+// between ticks, but with nothing individually startable no ordering
+// can conjure a start, and a held reservation pins reservation state.
+// Policies that cannot make this promise simply do not implement the
+// interface.
+type PassQuiescer interface {
+	LastPassQuiescent() bool
+}
+
+// recyclePlan hands a finished pass's plan back to the machine's pool
+// when the machine keeps one (see machine.PlanRecycler). The plan must
+// not be used after the call.
+func recyclePlan(m machine.Machine, pl machine.Plan) {
+	if r, ok := m.(machine.PlanRecycler); ok {
+		r.Recycle(pl)
+	}
+}
+
 // Order sorts a queue snapshot into scheduling order (most urgent
 // first), returning a new slice. Implementations must be deterministic;
 // ties are conventionally broken by submission time then ID.

@@ -36,8 +36,8 @@ func diffTrace(t *testing.T, seed int64, n int) []*job.Job {
 	return jobs
 }
 
-// TestDifferentialThreeWay sweeps a 3-machine × 6-policy × 3-mode grid
-// (54 seeded configs) and demands that the batch, streaming, and live
+// TestDifferentialThreeWay sweeps a 3-machine × 6-policy × 4-mode grid
+// (72 seeded configs) and demands that the batch, streaming, and live
 // engines produce identical schedules under the full validity oracle:
 // byte-identical event traces, the same per-job starts and final
 // states, and the same reported metrics. Fairness seeds additionally
@@ -74,6 +74,10 @@ func TestDifferentialThreeWay(t *testing.T) {
 		{"event", 0, false, 80},
 		{"periodic", 10 * units.Second, false, 80},
 		{"fair", 0, true, 36},
+		// Periodic passes and the fairness oracle interact: ticks fire
+		// passes whose δ the batched oracle must bound and elide
+		// correctly, so this mode walks the oracle's divergence frontier.
+		{"fairp", 10 * units.Second, true, 30},
 	}
 
 	seed := int64(0)

@@ -123,8 +123,10 @@ func (l *Live) Submit(src *job.Job) (*job.Job, error) {
 		// the tick grid) at this submission, as the batch engine does at
 		// its first accepted job.
 		l.e.events.Push(j.Submit.Add(l.e.cfg.CheckInterval), evCheckpoint, nil)
+		l.e.nextCheck = j.Submit.Add(l.e.cfg.CheckInterval)
 		if l.e.cfg.SchedulePeriod > 0 {
 			l.e.events.Push(j.Submit, evTick, nil)
+			l.e.nextTick = j.Submit
 		}
 	}
 	l.e.events.Push(j.Submit, evArrive, j)

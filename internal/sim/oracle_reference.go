@@ -56,6 +56,14 @@ func (e *engine) fairStartNaive(targets []*job.Job) {
 		}
 
 		if e.cfg.SchedulePeriod > 0 {
+			// Same grid-faithful world as the batched oracle: the fair
+			// world schedules on the main engine's tick and checkpoint
+			// grids (a nested checkpoint forces a pass, never a retune).
+			sub.events.Push(e.nextTick, evTick, nil)
+			sub.events.Push(e.nextCheck, evCheckpoint, nil)
+		} else {
+			// Event-driven closed worlds run a pass at the fork instant —
+			// the targets' arrival batch — matching the batched oracle.
 			sub.events.Push(e.now, evTick, nil)
 		}
 

@@ -154,12 +154,17 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		e.initRecorder()
 	}
 
+	// One arena holds every job clone: a year-scale trace is one
+	// allocation instead of one per job. The arena is pre-sized so the
+	// pointers handed to the event heap stay valid as it fills.
+	clones := make([]job.Job, 0, len(jobs))
 	var accepted, rejected []*job.Job
 	for i, src := range jobs {
 		if err := src.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: job %d: %w", i, err)
 		}
-		j := src.Clone()
+		clones = append(clones, *src)
+		j := &clones[len(clones)-1]
 		j.State = job.Submitted
 		if !m.CanFitEver(j.Nodes) {
 			rejected = append(rejected, j)
@@ -176,8 +181,10 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 			}
 		}
 		e.events.Push(first.Add(cfg.CheckInterval), evCheckpoint, nil)
+		e.nextCheck = first.Add(cfg.CheckInterval)
 		if cfg.SchedulePeriod > 0 {
 			e.events.Push(first, evTick, nil)
+			e.nextTick = first
 		}
 	}
 
@@ -249,12 +256,67 @@ type engine struct {
 	dirty     bool
 	lastDelta bool
 
+	// lastQuiet records whether the last executed pass declared itself
+	// quiescent (sched.PassQuiescer): started nothing and provably
+	// repeats as the same no-op on unchanged state at any later
+	// instant. While it holds and nothing dirties the engine, due
+	// passes are elided even when δ is true — the backfill-candidate-
+	// behind-a-reservation regime that otherwise runs a full pass on
+	// every tick of a congested stretch. δ itself (lastDelta) keeps its
+	// Eq. 4 meaning for the metrics step series.
+	lastQuiet bool
+
+	// nextTick and nextCheck track the next armed instants of the tick
+	// and checkpoint grids. During the step that fires a grid event they
+	// still hold the firing instant (re-arming happens at the end of the
+	// step), so the incremental fairness oracle can seed a nested run
+	// with the exact grid continuation — including a pass at the current
+	// instant when the main engine is about to run one.
+	nextTick  units.Time
+	nextCheck units.Time
+
+	// pending holds the arrival batches whose fair starts the periodic-
+	// mode oracle has deferred, in arrival order. A batch stays glued to
+	// the main schedule — its no-later-arrival world IS the main
+	// schedule — until a scheduling pass provably acts beyond its
+	// arrival instant (the scheduler-reported horizon; see
+	// sched.PassBounder and endPassDefer), a cancellation invalidates
+	// its world, or an adaptive retune unfreezes the policy. A batch
+	// member that starts while its batch is glued resolves for free in
+	// begin: its fair start is its actual start.
+	pending []pendingBatch
+
+	// Deferred-pass scratch (see beginPassDefer): the pre-pass queue
+	// snapshot, the pre-pass scheduler clone, and the starts the pass
+	// performed so far, kept so a batch that diverges mid-pass can fork
+	// its fair world from the exact pre-pass state. passDefer gates
+	// begin's side-effect deferral while a snapshot is live.
+	passQueue  []*job.Job
+	passSched  sched.Scheduler
+	passBegins []passBegin
+	passDefer  bool
+
 	// Scratch reused across instants and oracle runs.
 	arrived  []*job.Job // jobs that arrived at the current instant
 	oracle   *engine    // one nested fairness engine, reset per batch
 	arena    []job.Job  // clone storage for one oracle run
 	orderBuf []*job.Job // deterministic ordering of the running set
 	tclones  []*job.Job // clones of the oracle batch's target jobs
+}
+
+// pendingBatch is one arrival instant's deferred fair-start batch: the
+// jobs that arrived at instant t and still await their fair start.
+type pendingBatch struct {
+	t    units.Time
+	jobs []*job.Job
+}
+
+// passBegin records one start performed during a deferring scheduling
+// pass: enough to rewind it when forking a fair world from the pre-pass
+// state, and to flush its accounting once the pass's horizon is known.
+type passBegin struct {
+	j *job.Job
+	a machine.Alloc
 }
 
 // scratchAdopter is implemented by schedulers whose fresh clones can
@@ -314,7 +376,9 @@ func (e *engine) step() (bool, error) {
 		switch it.Kind {
 		case evEnd:
 			e.finish(it.Payload)
-			e.trace("end job=%d", it.Payload.ID)
+			if e.cfg.Trace != nil {
+				e.trace("end job=%d", it.Payload.ID)
+			}
 			if e.rec != nil {
 				e.rec.End(e.now, it.Payload)
 			}
@@ -327,7 +391,9 @@ func (e *engine) step() (bool, error) {
 			e.queue.push(j)
 			e.arrived = append(e.arrived, j)
 			e.dirty = true
-			e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
+			if e.cfg.Trace != nil {
+				e.trace("arrive job=%d nodes=%d wall=%v", j.ID, j.Nodes, j.Walltime)
+			}
 			if e.rec != nil {
 				e.rec.Arrive(e.now, j)
 			}
@@ -335,9 +401,16 @@ func (e *engine) step() (bool, error) {
 			tick = true
 		case evCheckpoint:
 			// The checkpoint may retune the policy, so the next due
-			// pass can never be elided.
+			// pass can never be elided. Nested fairness worlds are the
+			// exception: their policy is frozen (no retune ever fires),
+			// so a checkpoint there changes nothing and the usual
+			// elision condition applies to the pass it would force —
+			// the naive reference executes that pass and proves it a
+			// no-op; eliding it preserves the schedule bit for bit.
 			checkpoint = true
-			e.dirty = true
+			if !e.sub {
+				e.dirty = true
+			}
 		}
 	}
 
@@ -345,9 +418,25 @@ func (e *engine) step() (bool, error) {
 	// before this instant's scheduling pass. All jobs arriving at one
 	// instant see the same no-later-arrival world, so one nested run
 	// serves the whole batch.
+	//
+	// In periodic mode the batched oracle defers instead of simulating:
+	// the fair world runs on the same tick and checkpoint grids as the
+	// main engine, so until a divergence event — a pass that provably
+	// acts beyond the batch's arrival instant, a cancellation, an
+	// adaptive retune — the no-later-arrival world IS the main
+	// schedule, and a pending job that starts before one is resolved
+	// in begin without any nested simulation. Event-driven mode keeps
+	// the eager oracle: its fair world is the classic closed system
+	// whose passes fire on job completions, which shares no pass
+	// instants with the main engine and cannot reuse its prefix.
 	if e.cfg.Fairness && !e.sub && len(e.arrived) > 0 {
 		if e.cfg.naiveOracle {
 			e.fairStartNaive(e.arrived)
+		} else if e.cfg.SchedulePeriod > 0 {
+			e.pending = append(e.pending, pendingBatch{
+				t:    e.now,
+				jobs: append([]*job.Job(nil), e.arrived...),
+			})
 		} else {
 			e.fairStartBatch(e.arrived)
 		}
@@ -356,10 +445,12 @@ func (e *engine) step() (bool, error) {
 	if checkpoint && !e.sub {
 		bf, w, hasTunables := e.tunables()
 		e.collector.OnCheckpoint(e.now, e.queue.jobs(), bf, w, hasTunables)
-		if hasTunables {
-			e.trace("checkpoint queue=%d bf=%g w=%d", e.queue.len(), bf, w)
-		} else {
-			e.trace("checkpoint queue=%d", e.queue.len())
+		if e.cfg.Trace != nil {
+			if hasTunables {
+				e.trace("checkpoint queue=%d bf=%g w=%d", e.queue.len(), bf, w)
+			} else {
+				e.trace("checkpoint queue=%d", e.queue.len())
+			}
 		}
 		// The validity recorder samples the monitors' inputs before the
 		// retune, then the tunables on both sides of it — the raw facts
@@ -381,6 +472,13 @@ func (e *engine) step() (bool, error) {
 			}
 		}
 		if ad, ok := e.scheduler.(sched.Adaptive); ok {
+			// An adaptive retune is a divergence frontier: pending fair
+			// worlds keep the policy frozen as it was at their arrival,
+			// which until here equals the live policy. Resolve them
+			// against the shared prefix before the tuning changes.
+			if len(e.pending) > 0 {
+				e.resolvePending()
+			}
 			ad.Checkpoint(e, e)
 		}
 		if e.rec != nil {
@@ -388,9 +486,13 @@ func (e *engine) step() (bool, error) {
 			e.rec.Checkpoint(e.now, ckQD, ckInputs, bf, w, bfAfter, wAfter, hasTunables)
 		}
 		e.collector.Compact(e.now) // no-op outside lean streaming runs
-		if e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids {
-			e.events.Push(e.now.Add(e.cfg.CheckInterval), evCheckpoint, nil)
-		}
+	}
+	if checkpoint && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids) {
+		// Re-armed for nested oracle runs too: their fair worlds mirror
+		// the main engine's checkpoint-forced scheduling passes (without
+		// the retune or monitor side effects, which stay !sub above).
+		e.nextCheck = e.now.Add(e.cfg.CheckInterval)
+		e.events.Push(e.nextCheck, evCheckpoint, nil)
 	}
 
 	// Event-driven mode schedules after every batch; periodic mode
@@ -405,9 +507,24 @@ func (e *engine) step() (bool, error) {
 	// stretches in periodic mode then cost O(1) per tick.
 	ran := false
 	if e.cfg.SchedulePeriod <= 0 || tick || checkpoint {
-		if e.cfg.disableElision || e.dirty || e.lastDelta {
+		if e.cfg.disableElision || e.dirty || (e.lastDelta && !e.lastQuiet) {
+			// With deferred fair-start batches outstanding, snapshot the
+			// pre-pass state so a batch the pass diverges from can fork
+			// its fair world (periodic mode only: that is the only mode
+			// that defers).
+			deferring := len(e.pending) > 0
+			if deferring {
+				e.beginPassDefer()
+			}
 			e.scheduler.Schedule(e)
 			ran = true
+			if deferring {
+				e.endPassDefer(checkpoint)
+			}
+			e.lastQuiet = false
+			if q, ok := e.scheduler.(sched.PassQuiescer); ok {
+				e.lastQuiet = q.LastPassQuiescent()
+			}
 		}
 	}
 	// δ is recomputed whenever the state could differ from the value
@@ -430,9 +547,12 @@ func (e *engine) step() (bool, error) {
 		}
 	}
 
-	if tick && (e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids) {
+	// A tick with a zero period is the one-shot fork-instant pass a
+	// nested event-mode fair world seeds; it must not re-arm.
+	if tick && e.cfg.SchedulePeriod > 0 &&
+		(e.events.Len() > 0 || e.queue.len() > 0 || len(e.running) > 0 || e.streamLive() || e.keepGrids) {
 		next := e.now.Add(e.cfg.SchedulePeriod)
-		if e.sub && !e.cfg.disableElision && !e.dirty && !e.lastDelta {
+		if e.sub && !e.cfg.disableElision && !e.dirty && (!e.lastDelta || e.lastQuiet) {
 			// Nested runs have no collector to sample, so a stretch
 			// of would-be-elided ticks is pure dead time: jump to the
 			// first tick on the same phase grid at or after the next
@@ -443,6 +563,7 @@ func (e *engine) step() (bool, error) {
 			}
 		}
 		e.events.Push(next, evTick, nil)
+		e.nextTick = next
 	}
 
 	if !e.sub {
@@ -461,13 +582,36 @@ func (e *engine) step() (bool, error) {
 // longer be elided — the freed reservation may unblock backfill even
 // though no nodes changed state.
 func (e *engine) cancelQueued(j *job.Job) {
+	// A cancellation diverges exactly the deferred fair worlds that
+	// contain the cancelled job: the batches that arrived at or after
+	// its submission. Those resolve now, from the still-shared prefix —
+	// with the job still queued, exactly as their closed no-later-
+	// arrival worlds have it. Earlier batches keep deferring: to them
+	// the cancelled job was an extra (submitted after their instant),
+	// and removing an extra only shrinks the set of passes that can
+	// diverge. (It cannot hold a reservation their worlds lack: a pass
+	// granting one would have reported a horizon past their instant and
+	// resolved them then.) Batches are in arrival order, so the suffix
+	// starting at the first t >= Submit is the affected set.
+	if len(e.pending) > 0 {
+		i := 0
+		for i < len(e.pending) && e.pending[i].t < j.Submit {
+			i++
+		}
+		for _, b := range e.pending[i:] {
+			e.fairWorld(b.jobs, e.queue.jobs(), b.t, e.scheduler, nil, e.nextTick, e.nextCheck)
+		}
+		e.pending = e.pending[:i]
+	}
 	e.queue.remove(j)
 	j.State = job.Cancelled
 	e.dirty = true
 	if ev, ok := e.scheduler.(sched.Evictor); ok {
 		ev.JobRemoved(j.ID)
 	}
-	e.trace("cancel job=%d", j.ID)
+	if e.cfg.Trace != nil {
+		e.trace("cancel job=%d", j.ID)
+	}
 	if e.rec != nil {
 		e.rec.Cancel(e.now, j)
 	}
@@ -592,31 +736,56 @@ func (e *engine) begin(j *job.Job, a machine.Alloc) {
 		effective = j.Walltime // killed at the limit
 	}
 	e.events.Push(e.now.Add(effective), evEnd, j)
-	e.trace("start job=%d nodes=%d wait=%v", j.ID, j.Nodes, j.Wait())
+	if e.cfg.Trace != nil {
+		e.trace("start job=%d nodes=%d wait=%v", j.ID, j.Nodes, j.Wait())
+	}
 
-	if !e.sub {
-		fair, known := e.fairStarts[j.ID]
-		if e.rec != nil {
-			// The validity trace records the start's true footprint:
-			// the occupied midplanes and the whole-partition node count
-			// (internal fragmentation included) on machines that expose
-			// placement, the bare request on those that don't.
-			blockNodes := j.Nodes
-			var mps []int
-			if fp, ok := e.machine.(machine.Footprinter); ok {
-				if u, per, ok := fp.AllocUnits(a); ok {
-					mps = u
-					blockNodes = len(u) * per
-				}
+	if e.sub {
+		return
+	}
+	if e.passDefer {
+		// Fairness accounting waits for the pass to finish: whether this
+		// start resolves for free or against a forked fair world is only
+		// known once the pass's horizon is in (see endPassDefer).
+		e.passBegins = append(e.passBegins, passBegin{j, a})
+		return
+	}
+	e.beginEffects(j, a)
+}
+
+// beginEffects performs the accounting and reporting side of a start:
+// the free-path fair-start resolution of a still-deferred job, the
+// validity trace's start record, and the collector update. During a
+// deferring pass these run at endPassDefer, after any diverged batch
+// has resolved, so the values recorded here are final.
+func (e *engine) beginEffects(j *job.Job, a machine.Alloc) {
+	// A deferred job starting while its batch is still glued resolves
+	// for free: its no-later-arrival world is the main schedule itself,
+	// so its fair start is its actual start.
+	if e.dropPending(j) {
+		e.fairStarts[j.ID] = e.now
+	}
+	fair, known := e.fairStarts[j.ID]
+	if e.rec != nil {
+		// The validity trace records the start's true footprint:
+		// the occupied midplanes and the whole-partition node count
+		// (internal fragmentation included) on machines that expose
+		// placement, the bare request on those that don't.
+		blockNodes := j.Nodes
+		var mps []int
+		if fp, ok := e.machine.(machine.Footprinter); ok {
+			if u, per, ok := fp.AllocUnits(a); ok {
+				mps = u
+				blockNodes = len(u) * per
 			}
-			e.rec.Start(e.now, j, blockNodes, mps, fair, known && e.cfg.Fairness)
 		}
-		e.collector.OnJobStart(j, fair, e.cfg.FairnessTolerance, known && e.cfg.Fairness)
-		if e.stream != nil && e.stream.sink != nil {
-			// Sink-driven runs keep the oracle map O(live jobs): the
-			// entry has served its purpose once the job starts.
-			delete(e.fairStarts, j.ID)
-		}
+		e.rec.Start(e.now, j, blockNodes, mps, fair, known && e.cfg.Fairness)
+	}
+	e.collector.OnJobStart(j, fair, e.cfg.FairnessTolerance, known && e.cfg.Fairness)
+	if e.stream != nil && e.stream.sink != nil {
+		// Sink-driven runs keep the oracle map O(live jobs): the
+		// entry has served its purpose once the job starts.
+		delete(e.fairStarts, j.ID)
 	}
 }
 
@@ -631,12 +800,30 @@ func (e *engine) UtilWindowAvg(w units.Duration) float64 {
 }
 
 // fairStartBatch computes the fair start time of every job in targets —
-// the batch of jobs that arrived at the current instant — and records
-// them in e.fairStarts. A job's fair start is the start it would get if
-// no job arrived after it, under the current policy with its current
-// tuning, from the current machine state (Sabin et al.'s definition, as
-// used by the paper). The nested run fires no checkpoints, so adaptive
-// policies stay frozen.
+// the batch of jobs that arrived at the current instant — eagerly, from
+// the current state. This is event-driven mode's oracle: its fair world
+// is the classic closed system whose passes fire on job completions,
+// sharing no pass instants with the main engine, so there is no prefix
+// to defer against.
+func (e *engine) fairStartBatch(targets []*job.Job) {
+	e.fairWorld(targets, e.queue.jobs(), e.now, e.scheduler, nil, e.nextTick, e.nextCheck)
+}
+
+// fairWorld simulates one no-later-arrival world and records the fair
+// start of every job in targets in e.fairStarts. A job's fair start is
+// the start it would get if no job arrived after it, under the current
+// policy with its current tuning, from the current machine state (Sabin
+// et al.'s definition, as used by the paper). The nested run fires no
+// checkpoints, so adaptive policies stay frozen.
+//
+// The world is built from queueView filtered to jobs submitted at or
+// before cutoff (targets must be a subsequence of that filtered view in
+// arrival order), the scheduler cloned from schedSrc, and the current
+// machine and running set with the starts in begun rewound — begun
+// carries the starts a mid-resolution scheduling pass already performed
+// that the forked world, diverging from that very pass, must not see.
+// In periodic mode the world keeps scheduling on the main engine's tick
+// and checkpoint grids, re-entered at tickAt and checkAt.
 //
 // Jobs arriving at one instant are all already queued when the oracle
 // runs, so each one's no-later-arrival world is the same simulation;
@@ -644,9 +831,10 @@ func (e *engine) UtilWindowAvg(w units.Duration) float64 {
 // fair start, bit-identical to running the oracle per job.
 //
 // The nested engine, its event heap, its queue storage, and the job
-// clones (one arena per run) are reused across batches, so a steady
+// clones (one arena per run) are reused across runs, so a steady
 // fairness workload allocates only the machine and scheduler clones.
-func (e *engine) fairStartBatch(targets []*job.Job) {
+func (e *engine) fairWorld(targets, queueView []*job.Job, cutoff units.Time,
+	schedSrc sched.Scheduler, begun []passBegin, tickAt, checkAt units.Time) {
 	sub := e.oracle
 	if sub == nil {
 		sub = &engine{
@@ -659,8 +847,14 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 	sub.cfg = e.cfg
 	sub.cfg.Trace = nil // nested runs never touch the trace path
 	sub.now = e.now
-	sub.machine = e.machine.Clone()
-	sub.scheduler = e.scheduler.Clone()
+	sub.machine = machine.CloneMachineInto(e.machine, sub.machine)
+	// Rewind the deferring pass's starts: the fork is from the exact
+	// pre-pass state, so the nodes those starts occupied are free again
+	// and the jobs return to the queue (below).
+	for _, pb := range begun {
+		sub.machine.Release(pb.a, e.now)
+	}
+	sub.scheduler = schedSrc.Clone()
 	if ad, ok := sub.scheduler.(scratchAdopter); ok && prev != nil {
 		ad.AdoptScratch(prev)
 	}
@@ -670,12 +864,21 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 	clear(sub.running)
 	sub.dirty = true
 	sub.lastDelta = false
+	sub.lastQuiet = false
 
-	// Clone the live jobs into the arena (the queue and running sets are
-	// disjoint). The arena is sized up front so the pointers handed to
-	// the sub-engine stay valid as it fills.
-	queued := e.queue.jobs()
-	n := len(queued) + len(e.running)
+	wasBegun := func(j *job.Job) bool {
+		for _, pb := range begun {
+			if pb.j == j {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Clone the live jobs into the arena (the queue view and the seeded
+	// running set are disjoint). The arena is sized up front so the
+	// pointers handed to the sub-engine stay valid as it fills.
+	n := len(queueView) + len(e.running)
 	if cap(e.arena) < n {
 		e.arena = make([]job.Job, 0, n)
 	}
@@ -683,11 +886,18 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 
 	e.tclones = e.tclones[:0]
 	ti := 0
-	for _, j := range queued {
+	for _, j := range queueView {
+		if j.Submit > cutoff {
+			continue // an extra: the closed world never sees it
+		}
 		arena = append(arena, *j)
 		c := &arena[len(arena)-1]
+		if wasBegun(j) {
+			// The deferring pass started it; the fork has it waiting.
+			c.State = job.Queued
+			c.Start = 0
+		}
 		sub.queue.push(c)
-		// targets is a subsequence of the queue in arrival order.
 		if ti < len(targets) && j == targets[ti] {
 			e.tclones = append(e.tclones, c)
 			ti++
@@ -702,6 +912,9 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 	// insertion order keeps nested runs reproducible.
 	e.orderBuf = e.orderBuf[:0]
 	for j := range e.running {
+		if wasBegun(j) {
+			continue // rewound above; re-queued via queueView
+		}
 		e.orderBuf = append(e.orderBuf, j)
 	}
 	sort.Slice(e.orderBuf, func(i, k int) bool { return e.orderBuf[i].ID < e.orderBuf[k].ID })
@@ -718,6 +931,24 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 	e.arena = arena
 
 	if e.cfg.SchedulePeriod > 0 {
+		// Grid-faithful seeding: the fair world keeps scheduling on the
+		// main engine's tick and checkpoint grids (checkpoints force a
+		// pass but never retune in a nested run — the policy stays
+		// frozen). The caller passes the grid instants as of the fork
+		// point: a grid event mid-processing in the main step re-enters
+		// at the current instant, so the nested run reproduces the pass
+		// the main engine is executing or about to execute.
+		sub.events.Push(tickAt, evTick, nil)
+		sub.events.Push(checkAt, evCheckpoint, nil)
+	} else {
+		// Event-driven mode schedules after every event batch, and in
+		// the closed world the targets' own arrival is such a batch: the
+		// fork must execute a pass at the fork instant, or a target the
+		// closed world could start immediately sits queued until the
+		// next completion (or forever, on an otherwise idle machine —
+		// the fork's heap would be empty and the run would exit without
+		// ever scheduling). The tick is not re-armed when the period is
+		// zero, so it fires exactly once.
 		sub.events.Push(e.now, evTick, nil)
 	}
 
@@ -738,4 +969,107 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 		}
 		e.fairStarts[t.ID] = c.Start
 	}
+}
+
+// dropPending removes j from whichever deferred batch holds it,
+// dropping the batch when it empties, and reports whether it was found.
+// Found means the job started while its batch was still glued to the
+// main schedule, so the free path applies: its fair start is its actual
+// start.
+func (e *engine) dropPending(j *job.Job) bool {
+	for bi := range e.pending {
+		b := &e.pending[bi]
+		for i, p := range b.jobs {
+			if p == j {
+				b.jobs = append(b.jobs[:i], b.jobs[i+1:]...)
+				if len(b.jobs) == 0 {
+					e.pending = append(e.pending[:bi], e.pending[bi+1:]...)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// beginPassDefer snapshots the pre-pass state before a scheduling pass
+// that executes with deferred fair-start batches outstanding: the queue
+// as the pass sees it and the scheduler as it is before the pass
+// mutates it. If the pass then acts beyond a batch's arrival instant,
+// that batch's fair world forks from this snapshot (resolveBatch);
+// begin defers its accounting while the snapshot is live so the flush
+// happens only after diverged batches are resolved.
+func (e *engine) beginPassDefer() {
+	e.passQueue = append(e.passQueue[:0], e.queue.jobs()...)
+	e.passSched = e.scheduler.Clone()
+	e.passBegins = e.passBegins[:0]
+	e.passDefer = true
+}
+
+// endPassDefer decides, after a deferring pass, which batches the pass
+// diverged from. With a sched.PassBounder the test is one comparison:
+// the reported horizon H guarantees the pass would have produced the
+// identical outcome (same starts, same placements, same post-pass
+// scheduler state) on any sub-queue extending to H, so a batch at
+// instant t stays glued iff H <= t. Other schedulers fall back to
+// "extras existed": any pass that saw a job submitted after the batch's
+// instant diverges it. Diverged batches fork from the pre-pass
+// snapshot; the rest keep riding the main schedule for free. Finally
+// the deferred begin effects flush, so a batch member that started in
+// this very pass is accounted with its resolved fair start.
+func (e *engine) endPassDefer(checkpoint bool) {
+	e.passDefer = false
+	horizon := units.Time(0)
+	bounded := false
+	if pb, ok := e.scheduler.(sched.PassBounder); ok {
+		horizon, bounded = pb.LastPassHorizon()
+	}
+	if !bounded && len(e.passQueue) > 0 {
+		horizon = e.passQueue[len(e.passQueue)-1].Submit
+	}
+	kept := e.pending[:0]
+	for _, b := range e.pending {
+		if horizon > b.t {
+			e.resolveBatch(b, checkpoint)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	e.pending = kept
+	for _, pb := range e.passBegins {
+		e.beginEffects(pb.j, pb.a)
+	}
+	e.passBegins = e.passBegins[:0]
+	e.passSched = nil
+}
+
+// resolveBatch simulates one diverged batch's no-later-arrival world,
+// forked from the pre-pass snapshot the deferring pass captured. The
+// grids re-enter at the engine's armed instants, with one asymmetry
+// from step's ordering: the checkpoint grid re-arms before the pass, so
+// when this instant's checkpoint already fired the fork must re-inject
+// a checkpoint at now to force the pass the main engine just ran; the
+// tick grid re-arms after the pass, so nextTick still holds this
+// instant when a tick fired.
+func (e *engine) resolveBatch(b pendingBatch, checkpoint bool) {
+	checkAt := e.nextCheck
+	if checkpoint {
+		checkAt = e.now
+	}
+	e.fairWorld(b.jobs, e.passQueue, b.t, e.passSched, e.passBegins, e.nextTick, checkAt)
+}
+
+// resolvePending resolves every deferred batch against the current
+// state — the adaptive-retune divergence: pending fair worlds keep the
+// policy frozen as it was at their arrival, which up to here equals the
+// live policy (any earlier retune would have resolved them already).
+// The engine calls it from the checkpoint block before the tuning
+// changes; at that point neither grid has re-armed, so nextTick and
+// nextCheck still hold any grid instant that fired at now and the forks
+// replay this instant's pass under the frozen policy.
+func (e *engine) resolvePending() {
+	for _, b := range e.pending {
+		e.fairWorld(b.jobs, e.queue.jobs(), b.t, e.scheduler, nil, e.nextTick, e.nextCheck)
+	}
+	e.pending = e.pending[:0]
 }

@@ -200,8 +200,10 @@ func (e *engine) pumpArrivals() error {
 			// checkpoint grid and (in periodic mode) the tick grid are
 			// anchored at the first accepted submission.
 			e.events.Push(j.Submit.Add(e.cfg.CheckInterval), evCheckpoint, nil)
+			e.nextCheck = j.Submit.Add(e.cfg.CheckInterval)
 			if e.cfg.SchedulePeriod > 0 {
 				e.events.Push(j.Submit, evTick, nil)
+				e.nextTick = j.Submit
 			}
 		}
 		e.events.Push(j.Submit, evArrive, j)

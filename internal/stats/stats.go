@@ -131,7 +131,11 @@ type StepSeries struct {
 
 // Set appends (or overwrites, when t equals the last breakpoint) the
 // value holding from t onward. It panics if t precedes the last
-// breakpoint.
+// breakpoint. Setting the value the series already holds is absorbed
+// into the current segment: the piecewise-constant function is
+// unchanged with or without the breakpoint, so none is stored — which
+// keeps a series sampled on every scheduling step (busy nodes during a
+// drain, say) proportional to the number of value changes, not steps.
 func (s *StepSeries) Set(t units.Time, v float64) {
 	n := len(s.times)
 	if n > 0 {
@@ -141,6 +145,9 @@ func (s *StepSeries) Set(t units.Time, v float64) {
 		}
 		if t == last {
 			s.vals[n-1] = v
+			return
+		}
+		if v == s.vals[n-1] {
 			return
 		}
 		// Value vals[n-1] held over [last, t).

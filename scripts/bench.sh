@@ -1,32 +1,44 @@
 #!/bin/sh
 # Runs the scheduling benchmarks and writes a machine-readable summary
-# to BENCH_<n>.json (default BENCH_3.json) so perf changes are tracked
+# to BENCH_<n>.json (default BENCH_4.json) so perf changes are tracked
 # in-repo. The default set covers the window-search micro-benchmarks,
 # the end-to-end simulation benchmark (BenchmarkSimEndToEnd), and the
-# full-Intrepid 50k-job scale benchmark (BenchmarkSimAtScale).
+# full-Intrepid 50k-job scale benchmark (BenchmarkSimAtScale), which
+# now sweeps the work-stealing search across worker counts.
 #
 # The emitted file carries two audit sections:
 #
-#   - "env": GOMAXPROCS, the worker-pool width the parallel search
-#     would use (one per CPU), and the CPU model, so cross-machine
-#     comparisons are honest (cmd/benchcompare warns on mismatch);
-#   - "baseline": the numbers measured at the last commit before the
-#     full-Intrepid scaling PR (bitset occupancy, indexed availability
-#     profiles, parallel window search, streaming traces), so the
-#     speedup is auditable from the artifact alone.
+#   - "env": GOMAXPROCS (pinned for the run, see below), the worker-pool
+#     width the parallel search would use (one per CPU), and the CPU
+#     model, so cross-machine comparisons are honest (cmd/benchcompare
+#     warns on mismatch);
+#   - "baseline": the numbers measured by the previous PR's artifact
+#     (BENCH_3: bitset occupancy, indexed availability profiles, first
+#     parallel window search), so the speedup from the batched fairness
+#     oracle and the zero-alloc hot path is auditable from the artifact
+#     alone.
 #
 # Usage: scripts/bench.sh [output.json] [bench regex]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_3.json}
+out=${1:-BENCH_4.json}
 pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale'}
 raw=$(mktemp)
 body=$(mktemp)
 trap 'rm -f "$raw" "$body"' EXIT
 
-echo "bench.sh: running go test -bench '$pattern' ..." >&2
+# Pin GOMAXPROCS for the whole run so the recorded value is the value
+# the benchmarks actually ran under (an inherited mid-run change or an
+# unset variable would otherwise make the artifact lie about the
+# parallelism the numbers were measured at). Defaults to every CPU.
+GOMAXPROCS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+export GOMAXPROCS
+gomaxprocs=$GOMAXPROCS
+workers=$(nproc 2>/dev/null || echo 1)
+
+echo "bench.sh: running go test -bench '$pattern' (GOMAXPROCS=$GOMAXPROCS) ..." >&2
 # Three repetitions per benchmark; the awk pass below keeps the best
 # (minimum ns/op) draw per name. On a shared 1-CPU box background load
 # only ever adds time, so min-of-N is the low-noise estimator.
@@ -34,8 +46,6 @@ go test -run '^$' -bench "$pattern" -benchmem -count 3 . | tee "$raw" >&2
 
 goversion=$(go env GOVERSION)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-gomaxprocs=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
-workers=$(nproc 2>/dev/null || echo 1)
 cpumodel=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
 [ -n "$cpumodel" ] || cpumodel=unknown
 
@@ -80,13 +90,14 @@ END {
 	printf '  },\n'
 	cat <<'EOF'
   "baseline": {
-    "note": "before the full-Intrepid scaling work (commit 7320e7d, serial search), same machine class",
+    "note": "BENCH_3: previous PR (full-Intrepid bitset occupancy, indexed plans, first parallel search), same machine class, gomaxprocs=1",
     "benchmarks": [
-      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 4149747227, "jobs_per_sec": 12049, "bytes_per_op": 786992960, "allocs_per_op": 15327953},
-      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 3249491, "jobs_per_sec": 78474, "bytes_per_op": 644862, "allocs_per_op": 11163},
-      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 21191637, "jobs_per_sec": 12033, "bytes_per_op": 3419715, "allocs_per_op": 66995},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 37924637, "jobs_per_sec": 6724, "bytes_per_op": 18396614, "allocs_per_op": 250946},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 199123452, "jobs_per_sec": 1281, "bytes_per_op": 59355669, "allocs_per_op": 1317755}
+      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 1359974961, "jobs_per_sec": 36765, "bytes_per_op": 176817568, "allocs_per_op": 1317304},
+      {"name": "BenchmarkSimAtScale/search=par", "ns_per_op": 1280900250, "jobs_per_sec": 39035, "bytes_per_op": 176817552, "allocs_per_op": 1317304},
+      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 2435262, "jobs_per_sec": 104712, "bytes_per_op": 420486, "allocs_per_op": 5642},
+      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 14442696, "jobs_per_sec": 17656, "bytes_per_op": 1861215, "allocs_per_op": 31209},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 28706793, "jobs_per_sec": 8883, "bytes_per_op": 14588744, "allocs_per_op": 126670},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 107223042, "jobs_per_sec": 2378, "bytes_per_op": 33108411, "allocs_per_op": 458007}
     ]
   },
 EOF
