@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-bench vet bench-smoke fuzz fuzz-corpus verify bench bench-compare profile run-daemon clean
+.PHONY: all build test race race-bench vet bench-smoke load-smoke fuzz fuzz-corpus verify bench bench-compare bench-ingest profile run-daemon clean
 
 all: build
 
@@ -28,9 +28,17 @@ vet:
 	$(GO) vet ./...
 
 # A one-iteration pass over the scheduling benchmarks: catches bench
-# bit-rot without the minutes-long measured run.
+# bit-rot without the minutes-long measured run. The ingest-decode
+# family lives in internal/server, so both paths are swept.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'IngestDecode' -benchtime 1x ./internal/server
+
+# load-smoke boots amjsd on an ephemeral port and batch-submits 100k
+# jobs over real TCP loopback, failing below a conservative throughput
+# floor (see scripts/load_smoke.sh for the MIN_RATE/JOBS/BATCH knobs).
+load-smoke:
+	./scripts/load_smoke.sh
 
 # fuzz-corpus asserts the committed seed corpora exist: a fuzz target
 # whose corpus directory vanished would silently fuzz from nothing.
@@ -68,6 +76,11 @@ bench:
 # 20% ns/op (see cmd/benchcompare).
 bench-compare:
 	$(GO) run ./cmd/benchcompare BENCH_3.json BENCH_4.json
+
+# bench-ingest measures the daemon's HTTP ingest saturation curve over
+# TCP loopback and writes BENCH_5.json (see scripts/bench_ingest.sh).
+bench-ingest:
+	./scripts/bench_ingest.sh BENCH_5.json
 
 # profile captures CPU and heap profiles of the at-scale simulation
 # (the serial variant, so the profile reads as one straight call tree)

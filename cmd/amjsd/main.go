@@ -8,8 +8,11 @@
 //	amjsd -speedup inf                          # batch semantics: submit, then POST /v1/drain
 //	amjsd -checkpoint /var/lib/amjsd/queue.json # queue survives restarts
 //
-// Endpoints: POST /v1/jobs, GET|DELETE /v1/jobs/{id}, GET /v1/queue,
-// GET /v1/machine, POST /v1/drain, GET /metrics, /healthz, /readyz.
+// Endpoints: POST /v1/jobs (a JSON object submits one job; a JSON
+// array batch-submits through the sharded ingest lanes with per-item
+// results), GET|DELETE /v1/jobs/{id}, GET /v1/queue, GET /v1/machine,
+// GET /v1/events (streaming NDJSON job-event feed), POST /v1/drain,
+// GET /metrics, /healthz, /readyz.
 package main
 
 import (
@@ -71,6 +74,11 @@ func run(ctx context.Context, args []string, announce io.Writer) error {
 		checkpoint  = fs.String("checkpoint", "", "queue checkpoint file (restored on boot, written on shutdown)")
 		lean        = fs.Bool("lean", true, "bound metric memory for long-lived sessions")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
+		logReqs     = fs.Bool("log-requests", true, "log every HTTP request (disable for load tests)")
+		shards      = fs.Int("ingest-shards", 0, "sharded ingest lanes for batch submission (0 = default)")
+		queue       = fs.Int("ingest-queue", 0, "per-lane staged-submission bound (0 = default)")
+		maxBatch    = fs.Int("max-batch", 0, "POST /v1/jobs array-item cap (0 = default)")
+		eventRing   = fs.Int("event-ring", 0, "per-subscriber /v1/events buffer (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +112,10 @@ func run(ctx context.Context, args []string, announce io.Writer) error {
 		Tick:           *tick,
 		CheckpointPath: *checkpoint,
 		Lean:           *lean,
+		IngestShards:   *shards,
+		IngestQueue:    *queue,
+		MaxBatch:       *maxBatch,
+		EventRing:      *eventRing,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -116,7 +128,9 @@ func run(ctx context.Context, args []string, announce io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(announce, "amjsd listening on %s\n", ln.Addr())
-	srv := &http.Server{Handler: server.NewAPI(d)}
+	api := server.NewAPI(d)
+	api.SetRequestLogging(*logReqs)
+	srv := &http.Server{Handler: api}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -13,7 +13,10 @@
 //
 // When the new artifact embeds a "baseline" section (pre-change
 // end-to-end numbers), the speedup against it is reported as well;
-// that comparison is informational and never fails the run.
+// that comparison is informational and never fails the run. Artifacts
+// written by amjs-load -json additionally carry an "ingest_curve"
+// section (the IngestHTTP family's saturation sweep), which is printed
+// as a table.
 //
 // When both artifacts carry an "env" section (GOMAXPROCS, search
 // worker count, CPU model), any mismatch is reported as a warning —
@@ -51,6 +54,42 @@ type artifact struct {
 		Note       string  `json:"note"`
 		Benchmarks []bench `json:"benchmarks"`
 	} `json:"baseline"`
+	// IngestCurve is the saturation sweep amjs-load embeds in its
+	// BENCH artifacts (the IngestHTTP benchmark family).
+	IngestCurve []ingestStep `json:"ingest_curve"`
+}
+
+type ingestStep struct {
+	OfferedPerSec  float64 `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	Jobs           int     `json:"jobs"`
+	APIErrors      int     `json:"api_errors"`
+	ConnErrors     int     `json:"conn_errors"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+}
+
+// reportIngestCurve prints the saturation sweep embedded by amjs-load:
+// offered vs achieved rate and the latency distribution per step.
+// Informational — the regression gate already covers the IngestHTTP/*
+// benchmark rows derived from the same data.
+func reportIngestCurve(steps []ingestStep) {
+	if len(steps) == 0 {
+		return
+	}
+	fmt.Printf("\ningest saturation curve:\n")
+	fmt.Printf("  %12s %12s %8s %6s %6s %9s %9s %9s\n",
+		"offered/s", "achieved/s", "jobs", "api", "conn", "p50 ms", "p90 ms", "p99 ms")
+	for _, s := range steps {
+		offered := "max"
+		if s.OfferedPerSec > 0 {
+			offered = fmt.Sprintf("%.0f", s.OfferedPerSec)
+		}
+		fmt.Printf("  %12s %12.0f %8d %6d %6d %9.2f %9.2f %9.2f\n",
+			offered, s.AchievedPerSec, s.Jobs, s.APIErrors, s.ConnErrors,
+			s.P50Ms, s.P90Ms, s.P99Ms)
+	}
 }
 
 // warnEnvMismatch flags measurement-environment differences between the
@@ -211,6 +250,7 @@ func main() {
 	}
 
 	reportWorkerScaling(newArt.Benchmarks)
+	reportIngestCurve(newArt.IngestCurve)
 
 	if newArt.Baseline != nil {
 		fmt.Printf("\nspeedup vs embedded baseline (%s):\n", newArt.Baseline.Note)

@@ -63,6 +63,23 @@ type Config struct {
 	// event history.
 	Paranoid bool
 
+	// IngestShards is the number of sharded admission lanes (hashed by
+	// submitting user) the batch path stages into. Defaults to 8.
+	IngestShards int
+
+	// IngestQueue bounds each lane's staged-submission count; a full
+	// lane fails items with ErrOverloaded. Defaults to 4096.
+	IngestQueue int
+
+	// MaxBatch caps the item count of one POST /v1/jobs array
+	// (oversized batches get 413). Defaults to 4096.
+	MaxBatch int
+
+	// EventRing is the per-subscriber buffer of the /v1/events feed;
+	// a consumer further behind loses its oldest events. Defaults to
+	// 1024.
+	EventRing int
+
 	// Trace is passed through to the engine (one line per event).
 	Trace io.Writer
 
@@ -72,6 +89,14 @@ type Config struct {
 
 // ErrClosed reports an operation on a daemon after Close.
 var ErrClosed = errors.New("server: daemon closed")
+
+// Ingest-path defaults (see Config).
+const (
+	defaultIngestShards = 8
+	defaultIngestQueue  = 4096
+	// DefaultMaxBatch is the default POST /v1/jobs array-item cap.
+	DefaultMaxBatch = 4096
+)
 
 // ErrNotCancellable reports a cancel of a job that already started.
 var ErrNotCancellable = errors.New("server: job already started or finished")
@@ -92,6 +117,10 @@ type Daemon struct {
 	predicted map[int]units.Time // optimistic start estimate recorded at submission
 	hasPred   map[int]bool
 	closed    bool
+	closing   bool // Close in progress: ingest winding down, engine still open
+
+	lanes *lanes    // sharded batch-admission front end
+	hub   *eventHub // /v1/events fan-out
 
 	// Virtual-clock anchor for finite speedups: vnow = vbase +
 	// Speedup × (wall - wallBase).
@@ -188,8 +217,20 @@ func New(cfg Config) (*Daemon, error) {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	d.hub = newEventHub(cfg.EventRing)
+	live.SetNotify(func(t units.Time, j *job.Job, s job.State) {
+		if !d.hub.active() {
+			return
+		}
+		d.hub.publish(JobEvent{
+			TSec: int64(t), ID: j.ID, User: j.User, Nodes: j.Nodes,
+			State: s.String(),
+		})
+	})
+	d.lanes = newLanes(d, cfg.IngestShards, cfg.IngestQueue)
 	if cfg.CheckpointPath != "" {
 		if err := d.restore(cfg.CheckpointPath); err != nil {
+			d.lanes.close()
 			return nil, err
 		}
 	}
@@ -247,6 +288,37 @@ func (d *Daemon) vnowLocked() units.Time {
 func (d *Daemon) Submit(req SubmitRequest) (JobStatus, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	st, err := d.submitLocked(req)
+	if err != nil {
+		return st, err
+	}
+	d.log.Info("job submitted", "id", st.ID, "user", st.User,
+		"nodes", st.Nodes, "walltime", st.WalltimeSec, "submit", st.SubmitSec)
+	return st, nil
+}
+
+// SubmitBatch admits a batch through the sharded ingest lanes: items
+// are staged per-user-shard, merged back into arrival order, and
+// injected into the engine under one lock acquisition per flush (see
+// ingest.go). Blocks until every item has a result; results are
+// index-aligned with reqs. Per-item failures (validation, rejection,
+// overload) are reported in the corresponding SubmitResult, never as a
+// batch-level error.
+func (d *Daemon) SubmitBatch(reqs []SubmitRequest) []SubmitResult {
+	return d.lanes.SubmitBatch(reqs)
+}
+
+// Flush forces every staged ingest-lane submission into the engine
+// before returning — the synchronization point Drain and tests use.
+func (d *Daemon) Flush() { d.lanes.flushAll() }
+
+// submitLocked is the admission core shared by the single-submit path
+// and the lane flusher. Callers hold d.mu. It skips the per-job slog
+// line (the flusher logs per batch) but otherwise matches Submit
+// exactly — same validation, same ID sequence, same virtual-time
+// stamping — so batched and serial admission are observationally
+// identical.
+func (d *Daemon) submitLocked(req SubmitRequest) (JobStatus, error) {
 	if d.closed {
 		return JobStatus{}, ErrClosed
 	}
@@ -275,8 +347,12 @@ func (d *Daemon) Submit(req SubmitRequest) (JobStatus, error) {
 		d.predicted[j.ID] = ts
 		d.hasPred[j.ID] = true
 	}
-	d.log.Info("job submitted", "id", j.ID, "user", j.User,
-		"nodes", j.Nodes, "walltime", j.Walltime, "submit", j.Submit)
+	if d.hub.active() {
+		d.hub.publish(JobEvent{
+			TSec: int64(submit), ID: j.ID, User: j.User, Nodes: j.Nodes,
+			State: job.Submitted.String(),
+		})
+	}
 	return d.statusLocked(j), nil
 }
 
@@ -351,10 +427,13 @@ func (d *Daemon) Machine() MachineStatus {
 }
 
 // Drain processes every pending event, winding the session down to
-// quiescence — the batch-mode fast-forward. In finite-speedup mode the
-// wall anchor is rebased so the virtual clock continues from the
-// drained horizon instead of snapping backwards.
+// quiescence — the batch-mode fast-forward. Staged ingest-lane
+// submissions are flushed first, so "submit a batch, then drain" never
+// strands an admitted job. In finite-speedup mode the wall anchor is
+// rebased so the virtual clock continues from the drained horizon
+// instead of snapping backwards.
 func (d *Daemon) Drain() (nowSec int64, err error) {
+	d.lanes.flushAll() // lock order: lanes.flushMu strictly before d.mu
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -420,14 +499,20 @@ func (d *Daemon) Ready() bool {
 	return !d.closed
 }
 
-// Close stops the clock goroutine and, when a checkpoint path is
-// configured, persists the pending queue to disk. Idempotent.
+// Close stops the ingest lanes (their final drain injects anything
+// already staged; later submissions fail fast), stops the clock
+// goroutine, and, when a checkpoint path is configured, persists the
+// pending queue to disk. Idempotent.
 func (d *Daemon) Close() error {
 	d.mu.Lock()
-	if d.closed {
+	if d.closed || d.closing {
 		d.mu.Unlock()
 		return nil
 	}
+	d.closing = true
+	d.mu.Unlock()
+	d.lanes.close()
+	d.mu.Lock()
 	d.closed = true
 	d.mu.Unlock()
 	close(d.stop)

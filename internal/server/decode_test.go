@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+// stdlibDecode is the historical decode path the fast scanner must
+// match: encoding/json with unknown fields rejected and trailing data
+// refused.
+func stdlibDecode(b []byte, req *SubmitRequest) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if dec.Decode(&extra) != io.EOF {
+		return errors.New("trailing data after JSON object")
+	}
+	return nil
+}
+
+// TestDecodeSubmitParity feeds the same inputs to decodeSubmit and the
+// stdlib path: accepted inputs must produce identical SubmitRequests,
+// rejected inputs must be rejected by both.
+func TestDecodeSubmitParity(t *testing.T) {
+	inputs := []struct {
+		name string
+		body string
+	}{
+		{"minimal", `{"user":"alice","nodes":4,"walltime_sec":60}`},
+		{"all fields", `{"user":"bob","nodes":128,"walltime_sec":3600,"runtime_sec":1800,"submit_sec":42}`},
+		{"null submit_sec", `{"user":"c","nodes":1,"walltime_sec":1,"submit_sec":null}`},
+		{"whitespace", "  {\n\t\"user\" : \"d\" ,\n \"nodes\" : 2 , \"walltime_sec\" : 10 }  \n"},
+		{"empty object", `{}`},
+		{"negative submit_sec", `{"user":"e","nodes":1,"walltime_sec":1,"submit_sec":-5}`},
+		{"escaped user (fallback)", `{"user":"tab\tuser","nodes":1,"walltime_sec":1}`},
+		{"float walltime (fallback, rejected)", `{"user":"f","nodes":1,"walltime_sec":1.5}`},
+		{"exponent (fallback, rejected)", `{"user":"g","nodes":1,"walltime_sec":1e3}`},
+		{"overflow (fallback, rejected)", `{"user":"h","nodes":1,"walltime_sec":99999999999999999999}`},
+		{"unknown field", `{"user":"i","nodes":1,"walltime_sec":1,"priority":9}`},
+		{"wrong type", `{"user":"j","nodes":"four","walltime_sec":1}`},
+		{"truncated", `{"user":"k","nodes":4`},
+		{"not json", `submit please`},
+		{"trailing data", `{"user":"l","nodes":1,"walltime_sec":1} extra`},
+		{"array not object", `[{"user":"m"}]`},
+		{"duplicate key", `{"user":"n","user":"o","nodes":1,"walltime_sec":1}`},
+		{"missing colon", `{"user" "p"}`},
+		{"unterminated string", `{"user":"q`},
+	}
+	scan := &submitScanner{users: newUserInterner()}
+	for _, tc := range inputs {
+		t.Run(tc.name, func(t *testing.T) {
+			var fast, std SubmitRequest
+			fastErr := scan.decodeSubmit([]byte(tc.body), &fast)
+			stdErr := stdlibDecode([]byte(tc.body), &std)
+			if (fastErr == nil) != (stdErr == nil) {
+				t.Fatalf("fast err = %v, stdlib err = %v", fastErr, stdErr)
+			}
+			if fastErr != nil {
+				return
+			}
+			if !reflect.DeepEqual(deref(fast), deref(std)) ||
+				(fast.SubmitSec == nil) != (std.SubmitSec == nil) {
+				t.Fatalf("fast = %+v, stdlib = %+v", fast, std)
+			}
+		})
+	}
+}
+
+// deref flattens the SubmitSec pointer for comparison.
+func deref(r SubmitRequest) [5]int64 {
+	s := int64(-1 << 62)
+	if r.SubmitSec != nil {
+		s = *r.SubmitSec
+	}
+	return [5]int64{int64(len(r.User)), int64(r.Nodes), r.WalltimeSec, r.RuntimeSec, s}
+}
+
+// The duplicate-key case documents a deliberate divergence candidate:
+// both paths must agree (encoding/json keeps the last value; the fast
+// scanner overwrites too). TestDecodeSubmitParity covers agreement; this
+// pins the actual value.
+func TestDecodeDuplicateKeyLastWins(t *testing.T) {
+	scan := &submitScanner{users: newUserInterner()}
+	var req SubmitRequest
+	if err := scan.decodeSubmit([]byte(`{"nodes":1,"nodes":7,"user":"x","walltime_sec":1}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Nodes != 7 {
+		t.Fatalf("nodes = %d, want last-value 7", req.Nodes)
+	}
+}
+
+func TestUserInternerSharesStorage(t *testing.T) {
+	u := newUserInterner()
+	a := u.intern([]byte("alice"))
+	b := u.intern([]byte("alice"))
+	if a != "alice" || b != "alice" {
+		t.Fatalf("interned %q/%q", a, b)
+	}
+	// Same backing string: interning must return the stored instance.
+	if unsafeStringData(a) != unsafeStringData(b) {
+		t.Error("second intern allocated a fresh string")
+	}
+}
+
+func unsafeStringData(s string) *byte { return unsafe.StringData(s) }
+
+func TestSplitBatch(t *testing.T) {
+	collect := func(body string) ([]string, error) {
+		var elems []string
+		_, err := splitBatch([]byte(body), func(i int, e []byte) error {
+			elems = append(elems, string(e))
+			return nil
+		})
+		return elems, err
+	}
+	t.Run("empty", func(t *testing.T) {
+		elems, err := collect(` [ ] `)
+		if err != nil || len(elems) != 0 {
+			t.Fatalf("elems = %v, err = %v", elems, err)
+		}
+	})
+	t.Run("elements with nesting and strings", func(t *testing.T) {
+		elems, err := collect(`[{"user":"a,]"},{"nodes":1},{"x":{"y":[1,2]}}]`)
+		want := []string{`{"user":"a,]"}`, `{"nodes":1}`, `{"x":{"y":[1,2]}}`}
+		if err != nil || !reflect.DeepEqual(elems, want) {
+			t.Fatalf("elems = %v, err = %v", elems, err)
+		}
+	})
+	for _, bad := range []string{`[`, `[{]`, `[{},]`, `[{}] extra`, `{}`, `[{"a":"\"},{]`} {
+		if _, err := collect(bad); err == nil {
+			t.Errorf("splitBatch(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// BenchmarkIngestDecode measures the fast-path decode of a steady
+// stream from a bounded user population — the ingest hot loop. Without
+// submit_sec (the finite-speedup load shape) a warm interner decodes
+// with zero allocations; with submit_sec the pointer field costs one
+// 8-byte allocation.
+func BenchmarkIngestDecode(b *testing.B) {
+	for _, variant := range []struct {
+		name      string
+		submitSec bool
+	}{{"plain", false}, {"submit_sec", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			bodies := benchBodies(variant.submitSec)
+			scan := &submitScanner{users: newUserInterner()}
+			var req SubmitRequest
+			for _, body := range bodies { // warm the interner
+				if err := scan.decodeSubmit(body, &req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := scan.decodeSubmit(bodies[i%len(bodies)], &req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngestDecodeStdlib is the encoding/json baseline the fast
+// path is measured against.
+func BenchmarkIngestDecodeStdlib(b *testing.B) {
+	bodies := benchBodies(true)
+	var req SubmitRequest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req = SubmitRequest{}
+		if err := stdlibDecode(bodies[i%len(bodies)], &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBodies(submitSec bool) [][]byte {
+	users := []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+	var bodies [][]byte
+	for i, u := range users {
+		body := `{"user":"` + u + `","nodes":` + strings.Repeat("1", 1+i%3) +
+			`,"walltime_sec":3600,"runtime_sec":1800`
+		if submitSec {
+			body += `,"submit_sec":42`
+		}
+		bodies = append(bodies, []byte(body+"}"))
+	}
+	return bodies
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"amjs/internal/machine"
+	"amjs/internal/sched"
+)
+
+// TestEventHubDropOldest: a subscriber with a tiny ring keeps only the
+// newest events; the eviction count is delivered in-band on the next
+// take and sequence numbers expose the gap.
+func TestEventHubDropOldest(t *testing.T) {
+	h := newEventHub(4)
+	s := h.subscribe()
+	defer h.unsubscribe(s)
+	for i := 1; i <= 10; i++ {
+		h.publish(JobEvent{ID: i, State: "queued"})
+	}
+	out := make([]JobEvent, 8)
+	n, dropped := s.take(out)
+	if n != 4 || dropped != 6 {
+		t.Fatalf("take = %d events, %d dropped; want 4, 6", n, dropped)
+	}
+	for i, ev := range out[:n] {
+		if ev.ID != 7+i || ev.Seq != uint64(7+i) {
+			t.Fatalf("event %d: id %d seq %d, want %d", i, ev.ID, ev.Seq, 7+i)
+		}
+	}
+	if n, dropped := s.take(out); n != 0 || dropped != 0 {
+		t.Fatalf("second take = %d, %d; want empty", n, dropped)
+	}
+	if h.published.Load() != 10 || h.dropped.Load() != 6 {
+		t.Fatalf("hub counters %d/%d, want 10/6", h.published.Load(), h.dropped.Load())
+	}
+}
+
+// TestEventHubIdleFastPath: with no subscribers the hub reports
+// inactive so publishers can skip building events entirely.
+func TestEventHubIdleFastPath(t *testing.T) {
+	h := newEventHub(4)
+	if h.active() {
+		t.Fatal("fresh hub reports active")
+	}
+	s := h.subscribe()
+	if !h.active() {
+		t.Fatal("subscribed hub reports idle")
+	}
+	h.unsubscribe(s)
+	if h.active() {
+		t.Fatal("unsubscribed hub reports active")
+	}
+}
+
+// TestEventsFeed drives the full path: an NDJSON subscriber sees every
+// lifecycle transition of a drained ∞-mode session, in engine order,
+// with contiguous sequence numbers.
+func TestEventsFeed(t *testing.T) {
+	d, err := New(Config{
+		Machine:   machine.NewFlat(100),
+		Scheduler: sched.NewEASY(),
+		Speedup:   math.Inf(1),
+		Paranoid:  true,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	srv := httptest.NewServer(NewAPI(d))
+	t.Cleanup(srv.Close)
+
+	// submitted + queued + running + finished per job, 2 jobs; cancel of
+	// job 3 adds submitted + cancelled.
+	resp, err := srv.Client().Get(srv.URL + "/v1/events?max=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events: content-type %q", ct)
+	}
+
+	// The subscription races the submissions below only if subscribe
+	// hasn't happened when the first job lands; poll the gauge.
+	for !d.hub.active() {
+	}
+
+	reqs := []SubmitRequest{
+		{User: "a", Nodes: 100, WalltimeSec: 60, RuntimeSec: 60},
+		{User: "b", Nodes: 50, WalltimeSec: 60, RuntimeSec: 60},
+	}
+	for _, r := range d.SubmitBatch(reqs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if _, err := d.Submit(SubmitRequest{User: "c", Nodes: 10, WalltimeSec: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cancel(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("got %d events: %+v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Dropped != 0 {
+			t.Fatalf("event %d: unexpected drops: %+v", i, ev)
+		}
+	}
+	// Per-job state sequences must follow the lifecycle, in order.
+	byJob := map[int][]string{}
+	for _, ev := range events {
+		byJob[ev.ID] = append(byJob[ev.ID], ev.State)
+	}
+	want := map[int]string{
+		1: "submitted,queued,running,finished",
+		2: "submitted,queued,running,finished",
+		3: "submitted,cancelled",
+	}
+	for id, w := range want {
+		if got := strings.Join(byJob[id], ","); got != w {
+			t.Fatalf("job %d states %q, want %q", id, got, w)
+		}
+	}
+}

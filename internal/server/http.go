@@ -3,9 +3,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -21,6 +23,9 @@ type API struct {
 	log *slog.Logger
 	mux *http.ServeMux
 
+	logRequests bool
+	scan        *submitScanner
+
 	requests *counterVec
 	latency  *histogramVec
 }
@@ -28,9 +33,11 @@ type API struct {
 // NewAPI wires the routes over a daemon.
 func NewAPI(d *Daemon) *API {
 	a := &API{
-		d:   d,
-		log: d.log,
-		mux: http.NewServeMux(),
+		d:           d,
+		log:         d.log,
+		mux:         http.NewServeMux(),
+		logRequests: true,
+		scan:        &submitScanner{users: newUserInterner()},
 		requests: newCounterVec("amjsd_http_requests_total",
 			"HTTP requests served, by route, method, and status code.",
 			"route", "method", "code"),
@@ -43,12 +50,18 @@ func NewAPI(d *Daemon) *API {
 	a.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", a.deleteJob)
 	a.handle("GET /v1/queue", "/v1/queue", a.getQueue)
 	a.handle("GET /v1/machine", "/v1/machine", a.getMachine)
+	a.handle("GET /v1/events", "/v1/events", a.getEvents)
 	a.handle("POST /v1/drain", "/v1/drain", a.drain)
 	a.handle("GET /metrics", "/metrics", a.metrics)
 	a.handle("GET /healthz", "/healthz", a.healthz)
 	a.handle("GET /readyz", "/readyz", a.readyz)
 	return a
 }
+
+// SetRequestLogging toggles the per-request access log line. Metrics
+// are always collected; high-rate load tests turn the log off because
+// formatting a slog record per request costs more than serving it.
+func (a *API) SetRequestLogging(on bool) { a.logRequests = on }
 
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
@@ -64,6 +77,10 @@ func (s *statusRecorder) WriteHeader(code int) {
 	s.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach Flush on the underlying
+// writer (the events feed streams incrementally).
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
 // handle mounts a handler with logging and latency instrumentation.
 // route is the normalized label (wildcards, not values) so the metric
 // cardinality stays bounded.
@@ -75,9 +92,11 @@ func (a *API) handle(pattern, route string, h http.HandlerFunc) {
 		elapsed := time.Since(start)
 		a.requests.inc(route, r.Method, strconv.Itoa(rec.code))
 		a.latency.observe(elapsed.Seconds(), route)
-		a.log.Info("http",
-			"method", r.Method, "path", r.URL.Path,
-			"status", rec.code, "dur", elapsed.Round(time.Microsecond))
+		if a.logRequests {
+			a.log.Info("http",
+				"method", r.Method, "path", r.URL.Path,
+				"status", rec.code, "dur", elapsed.Round(time.Microsecond))
+		}
 	})
 }
 
@@ -99,11 +118,57 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// maxBodyBytes caps a POST /v1/jobs body: a full 4096-item batch of
+// worst-case objects fits with room to spare.
+const maxBodyBytes = 8 << 20
+
+// readBody drains the request body into a pooled buffer. On success the
+// caller owns the returned pointer and must bodyPool.Put it.
+func readBody(w http.ResponseWriter, r *http.Request) (*[]byte, error) {
+	bp := bodyPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bp = buf
+			return bp, nil
+		}
+		if err != nil {
+			*bp = buf
+			bodyPool.Put(bp)
+			return nil, err
+		}
+	}
+}
+
+// submitJob serves POST /v1/jobs. A JSON object is one submission
+// (201/4xx as before); a JSON array is a batch routed through the
+// sharded ingest lanes with per-item results (see submitBatch).
 func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
+	bp, err := readBody(w, r)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	defer bodyPool.Put(bp)
+	body := *bp
+	if i := skipSpace(body, 0); i < len(body) && body[i] == '[' {
+		a.submitBatch(w, r, body[i:])
+		return
+	}
 	var req SubmitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := a.scan.decodeSubmit(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -119,6 +184,129 @@ func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	}
+}
+
+// errBatchTooLarge aborts splitBatch once the element cap is hit.
+var errBatchTooLarge = errors.New("batch exceeds the configured item cap")
+
+// appendJSONString appends s as a JSON string. The fast path covers the
+// plain-ASCII names and error texts the API produces; anything needing
+// escapes goes through encoding/json.
+func appendJSONString(buf *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x7f {
+			raw, _ := json.Marshal(s)
+			buf.Write(raw)
+			return
+		}
+	}
+	buf.WriteByte('"')
+	buf.WriteString(s)
+	buf.WriteByte('"')
+}
+
+// submitBatch serves the array form of POST /v1/jobs.
+//
+// Partial-failure semantics: a well-formed array is always answered
+// 200 with one result per element, index-aligned — accepted items carry
+// {"id", "state", "submit_sec"}, failed ones {"error"}; an undecodable
+// or rejected element fails alone and never poisons its neighbours.
+// Only defects of the envelope itself fail the whole request: malformed
+// array syntax (400) or more than MaxBatch elements (413). With
+// ?count=1 the per-item results are omitted and only the counts are
+// returned — the load driver's low-bandwidth mode.
+func (a *API) submitBatch(w http.ResponseWriter, r *http.Request, body []byte) {
+	maxBatch := a.d.cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	var (
+		reqs    []SubmitRequest
+		decErrs []error
+		nBad    int
+	)
+	if _, err := splitBatch(body, func(i int, elem []byte) error {
+		if i >= maxBatch {
+			return errBatchTooLarge
+		}
+		var req SubmitRequest
+		e := a.scan.decodeSubmit(elem, &req)
+		reqs = append(reqs, req)
+		decErrs = append(decErrs, e)
+		if e != nil {
+			nBad++
+		}
+		return nil
+	}); err != nil {
+		if errors.Is(err, errBatchTooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d items", maxBatch)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	// Admit the decodable items in one lane batch; merge results back
+	// into element order.
+	results := make([]SubmitResult, len(reqs))
+	if nBad == 0 {
+		results = a.d.SubmitBatch(reqs)
+	} else {
+		valid := make([]SubmitRequest, 0, len(reqs)-nBad)
+		for i, e := range decErrs {
+			if e == nil {
+				valid = append(valid, reqs[i])
+			}
+		}
+		vres := a.d.SubmitBatch(valid)
+		vi := 0
+		for i, e := range decErrs {
+			if e != nil {
+				results[i] = SubmitResult{Err: e}
+			} else {
+				results[i] = vres[vi]
+				vi++
+			}
+		}
+	}
+
+	accepted := 0
+	for i := range results {
+		if results[i].Err == nil {
+			accepted++
+		}
+	}
+	countOnly := r.URL.Query().Get("count") == "1"
+
+	buf := respPool.Get().(*bytes.Buffer)
+	defer respPool.Put(buf)
+	buf.Reset()
+	fmt.Fprintf(buf, `{"accepted":%d,"failed":%d`, accepted, len(results)-accepted)
+	if !countOnly {
+		buf.WriteString(`,"results":[`)
+		for i := range results {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := results[i].Err; err != nil {
+				buf.WriteString(`{"error":`)
+				appendJSONString(buf, err.Error())
+				buf.WriteByte('}')
+				continue
+			}
+			st := &results[i].Status
+			fmt.Fprintf(buf, `{"id":%d,"state":`, st.ID)
+			appendJSONString(buf, st.State)
+			fmt.Fprintf(buf, `,"submit_sec":%d}`, st.SubmitSec)
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteString("}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
 }
 
 // jobID extracts and validates the {id} path segment.
@@ -172,6 +360,81 @@ func (a *API) getMachine(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.d.Machine())
 }
 
+// appendEvent hand-encodes one NDJSON feed line (field order matches
+// the JobEvent struct tags).
+func appendEvent(buf *bytes.Buffer, ev *JobEvent) {
+	fmt.Fprintf(buf, `{"seq":%d,"t_sec":%d,"id":%d`, ev.Seq, ev.TSec, ev.ID)
+	if ev.User != "" {
+		buf.WriteString(`,"user":`)
+		appendJSONString(buf, ev.User)
+	}
+	if ev.Nodes != 0 {
+		fmt.Fprintf(buf, `,"nodes":%d`, ev.Nodes)
+	}
+	buf.WriteString(`,"state":`)
+	appendJSONString(buf, ev.State)
+	if ev.Dropped != 0 {
+		fmt.Fprintf(buf, `,"dropped":%d`, ev.Dropped)
+	}
+	buf.WriteString("}\n")
+}
+
+// getEvents serves GET /v1/events: the NDJSON job-event feed. The
+// response streams until the client disconnects (or, with ?max=N, after
+// N events — the snapshot mode tests and one-shot consumers use). See
+// events.go for the ordering and slow-consumer drop semantics.
+func (a *API) getEvents(w http.ResponseWriter, r *http.Request) {
+	var max, total int
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad max %q", s)
+			return
+		}
+		max = n
+	}
+	rc := http.NewResponseController(w)
+	sub := a.d.hub.subscribe()
+	defer a.d.hub.unsubscribe(sub)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush() //nolint:errcheck // headers out before the first long wait
+	ctx := r.Context()
+	evs := make([]JobEvent, 256)
+	var buf bytes.Buffer
+	for {
+		n, dropped := sub.take(evs)
+		if n == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-sub.wake:
+				continue
+			}
+		}
+		if dropped > 0 {
+			evs[0].Dropped = dropped
+		}
+		if max > 0 && total+n > max {
+			n = max - total
+		}
+		buf.Reset()
+		for i := 0; i < n; i++ {
+			appendEvent(&buf, &evs[i])
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		total += n
+		if max > 0 && total >= max {
+			return
+		}
+	}
+}
+
 func (a *API) drain(w http.ResponseWriter, r *http.Request) {
 	now, err := a.d.Drain()
 	if err != nil {
@@ -207,8 +470,35 @@ func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
 		)
 	}
 	writeGauges(w, gauges)
+
+	// Ingest-lane and event-feed instrumentation.
+	ln, hub := a.d.lanes, a.d.hub
+	writeCounter(w, "amjsd_ingest_enqueued_total",
+		"Submissions staged into the ingest lanes.", ln.enqueued.Load())
+	writeCounter(w, "amjsd_ingest_flushes_total",
+		"Engine-lock acquisitions by the lane flusher.", ln.flushes.Load())
+	writeCounter(w, "amjsd_ingest_overflowed_total",
+		"Submissions refused because their lane was full.", ln.overflowed.Load())
+	writeCounter(w, "amjsd_events_published_total",
+		"Job events offered to /v1/events subscribers.", hub.published.Load())
+	writeCounter(w, "amjsd_events_dropped_total",
+		"Events lost to slow consumers (ring-buffer evictions).", hub.dropped.Load())
+	writeGauges(w, []gauge{{"amjsd_events_subscribers",
+		"Open /v1/events connections.", float64(hub.nsubs.Load())}})
+	fmt.Fprintf(w, "# HELP amjsd_ingest_shard_depth Staged submissions per ingest shard.\n"+
+		"# TYPE amjsd_ingest_shard_depth gauge\n")
+	for i, depth := range ln.depths(make([]int, 0, len(ln.shards))) {
+		fmt.Fprintf(w, "amjsd_ingest_shard_depth{shard=\"%d\"} %d\n", i, depth)
+	}
+	ln.batchSizes.write(w)
+
 	a.requests.write(w)
 	a.latency.write(w)
+}
+
+// writeCounter emits one label-free counter.
+func writeCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }
 
 func (a *API) healthz(w http.ResponseWriter, r *http.Request) {

@@ -150,6 +150,46 @@ func (h *histogramVec) write(w io.Writer) {
 	h.mu.Unlock()
 }
 
+// histogram is a label-free cumulative-bucket histogram (the ingest
+// batch-size distribution uses it).
+type histogram struct {
+	name    string
+	help    string
+	buckets []float64
+
+	mu   sync.Mutex
+	cell histCell
+}
+
+func newHistogram(name, help string, buckets []float64) *histogram {
+	return &histogram{name: name, help: help, buckets: buckets,
+		cell: histCell{counts: make([]uint64, len(buckets))}}
+}
+
+func (h *histogram) observe(value float64) {
+	h.mu.Lock()
+	for i, ub := range h.buckets {
+		if value <= ub {
+			h.cell.counts[i]++
+		}
+	}
+	h.cell.inf++
+	h.cell.sum += value
+	h.mu.Unlock()
+}
+
+func (h *histogram) write(w io.Writer) {
+	h.mu.Lock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	for i, ub := range h.buckets {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), h.cell.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.cell.inf)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.cell.sum)
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.cell.inf)
+	h.mu.Unlock()
+}
+
 // gauge is one named sample collected at scrape time.
 type gauge struct {
 	name  string

@@ -42,6 +42,20 @@ type Live struct {
 	cancelled int
 }
 
+// Notify observes one job state transition as the engine processes it.
+// Called synchronously from inside the event loop (so under whatever
+// lock serializes the session); implementations must be fast and must
+// not call back into the session. The job pointer is the engine's live
+// clone — read the fields needed and return, do not retain it.
+type Notify func(t units.Time, j *job.Job, s job.State)
+
+// SetNotify installs a transition observer on the session: every
+// arrival (Queued), start (Running), completion (Finished/Killed), and
+// cancellation (Cancelled) is reported in engine processing order —
+// the authoritative event order of the schedule. Nested fairness
+// worlds never notify. Pass nil to detach.
+func (l *Live) SetNotify(fn Notify) { l.e.notify = fn }
+
 // NewLive opens a live session under the configuration. Config fields
 // have the same meaning as for Run; lean switches the collector to
 // streaming aggregation (see Collector.SetLean) so an arbitrarily
@@ -150,6 +164,9 @@ func (l *Live) Cancel(id int) bool {
 		// Arrival still pending in the heap; the arrival handler drops
 		// cancelled jobs, so flagging the state is enough.
 		j.State = job.Cancelled
+		if l.e.notify != nil {
+			l.e.notify(l.e.now, j, job.Cancelled)
+		}
 	case job.Queued:
 		l.e.cancelQueued(j)
 	default:

@@ -240,6 +240,7 @@ type engine struct {
 	stream     *streamState        // non-nil when arrivals come from a JobSource (RunStream)
 	processed  int                 // events handled since the last counter reset (livelock guard)
 	rec        *invariant.Recorder // Paranoid top-level runs: the schedule-validity trace
+	notify     Notify              // Live sessions only: transition observer (never set on sub engines)
 
 	// keepGrids keeps the checkpoint and tick grids armed even when the
 	// system drains empty. Batch runs leave it false — their grids wind
@@ -396,6 +397,9 @@ func (e *engine) step() (bool, error) {
 			}
 			if e.rec != nil {
 				e.rec.Arrive(e.now, j)
+			}
+			if e.notify != nil {
+				e.notify(e.now, j, job.Queued)
 			}
 		case evTick:
 			tick = true
@@ -615,6 +619,9 @@ func (e *engine) cancelQueued(j *job.Job) {
 	if e.rec != nil {
 		e.rec.Cancel(e.now, j)
 	}
+	if e.notify != nil {
+		e.notify(e.now, j, job.Cancelled)
+	}
 }
 
 // checkInvariants asserts the engine's structural invariants via the
@@ -679,6 +686,9 @@ func (e *engine) finish(j *job.Job) {
 	}
 	if !e.sub {
 		e.collector.OnJobEnd(j)
+		if e.notify != nil {
+			e.notify(e.now, j, j.State)
+		}
 	}
 	if st := e.stream; st != nil {
 		if j.End > st.lastEnd {
@@ -742,6 +752,9 @@ func (e *engine) begin(j *job.Job, a machine.Alloc) {
 
 	if e.sub {
 		return
+	}
+	if e.notify != nil {
+		e.notify(e.now, j, job.Running)
 	}
 	if e.passDefer {
 		// Fairness accounting waits for the pass to finish: whether this

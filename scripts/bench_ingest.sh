@@ -1,0 +1,53 @@
+#!/bin/sh
+# Measures the daemon's HTTP ingest throughput over TCP loopback and
+# writes the BENCH_5.json artifact: a saturation curve (offered vs
+# achieved rate with latency percentiles per step) plus a full-speed
+# peak, in the schema cmd/benchcompare reads. The embedded baseline is
+# the pre-batching single-request path measured before this change.
+#
+# Usage: scripts/bench_ingest.sh [output.json]
+#   BATCH     jobs per POST            (default 256)
+#   STEP_DUR  per-step duration        (default 3s)
+#   CURVE     offered rates to sweep   (default 20000,50000,100000,200000)
+#   MAXJOBS   jobs for the full-speed step (default 300000)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_5.json}
+BATCH=${BATCH:-256}
+STEP_DUR=${STEP_DUR:-3s}
+CURVE=${CURVE:-20000,50000,100000,200000}
+MAXJOBS=${MAXJOBS:-300000}
+
+bin=$(mktemp -d)
+log="$bin/amjsd.log"
+trap 'kill "$daemon_pid" 2>/dev/null || true; wait "$daemon_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/amjsd" ./cmd/amjsd
+go build -o "$bin/amjs-load" ./cmd/amjs-load
+
+"$bin/amjsd" -addr 127.0.0.1:0 -machine flat:512 -policy easy \
+    -speedup inf -log-requests=false >"$bin/announce" 2>"$log" &
+daemon_pid=$!
+
+addr=
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^amjsd listening on \(.*\)$/\1/p' "$bin/announce" 2>/dev/null || true)
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "bench_ingest: daemon died:" >&2; cat "$log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "bench_ingest: daemon never announced its address" >&2; cat "$log" >&2; exit 1; }
+
+# The curve sweeps offered rates for STEP_DUR each; the trailing 0 is
+# the full-speed step (bounded by -max) whose achieved rate is the
+# peak. The baseline is the single-request path measured on this host
+# class before batching (amjs-load pre-change, BENCH_4 era: ~14k/s).
+echo "bench_ingest: daemon at $addr, sweeping $CURVE + full speed (batch=$BATCH)" >&2
+"$bin/amjs-load" -addr "http://$addr" -trace gen -batch "$BATCH" -workers 4 \
+    -curve "$CURVE,0" -step-dur "$STEP_DUR" -max "$MAXJOBS" \
+    -json "$out" \
+    -baseline-note "single-request POST /v1/jobs loop, default transport (pre-batching amjs-load on this host class)" \
+    -baseline-rate 14000
+echo "bench_ingest: wrote $out" >&2
