@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-bench vet bench-smoke load-smoke fuzz fuzz-corpus verify bench bench-compare bench-ingest profile run-daemon clean
+.PHONY: all build test race race-bench race-par vet bench-smoke load-smoke fuzz fuzz-corpus verify bench bench-compare bench-fair bench-ingest profile run-daemon clean
 
 all: build
 
@@ -23,6 +23,17 @@ race:
 # surface the unit tests only cover on synthetic windows.
 race-bench:
 	$(GO) test -race -run '^$$' -bench 'SimAtScale/search=par/workers=8' -benchtime 1x .
+
+# race-par is the multi-core leg of the race gate: with GOMAXPROCS
+# pinned to 4 the parallel window search actually recruits helpers (at
+# GOMAXPROCS=1 the pool never spins one up, so races between helper
+# goroutines are structurally unreachable). It replays the full at-scale
+# parallel-search bench matrix and the three-way differential suite —
+# which exercises the incremental fairness oracle's replay-echo worlds —
+# under the race detector.
+race-par:
+	GOMAXPROCS=4 $(GO) test -race -run '^$$' -bench 'SimAtScale/search=par' -benchtime 1x .
+	GOMAXPROCS=4 $(GO) test -race -run 'TestDifferentialThreeWay' ./internal/sim
 
 vet:
 	$(GO) vet ./...
@@ -75,7 +86,16 @@ bench:
 # previous PR's and fails if anything shared regressed by more than
 # 20% ns/op (see cmd/benchcompare).
 bench-compare:
-	$(GO) run ./cmd/benchcompare BENCH_3.json BENCH_4.json
+	$(GO) run ./cmd/benchcompare BENCH_4.json BENCH_6.json
+
+# bench-fair re-measures just the end-to-end fairness family and
+# rewrites BENCH_6.json with the fair-on/fair-off ratio per engine mode
+# (the "fair_ratios" section): the quick loop for iterating on the
+# incremental oracle without the minutes-long full sweep. Note it leaves
+# the artifact without the micro and at-scale families; run `make bench`
+# for the committable artifact.
+bench-fair:
+	./scripts/bench.sh BENCH_6.json 'SimEndToEnd'
 
 # bench-ingest measures the daemon's HTTP ingest saturation curve over
 # TCP loopback and writes BENCH_5.json (see scripts/bench_ingest.sh).

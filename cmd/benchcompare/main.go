@@ -8,8 +8,12 @@
 // The diff is grouped by benchmark family (the name up to the first
 // "/"), and families that sweep the parallel search's worker count
 // ("…/workers=N" sub-benchmarks) additionally get a scaling table:
-// speedup and parallel efficiency of every worker count against the
-// family's workers=1 row.
+// ns/op, allocs/op, speedup, and parallel efficiency of every worker
+// count against the family's workers=1 row. Families carrying both a
+// "…/search=serial" and "…/search=par…" row get a cost check on top: a
+// parallel row more than 10% slower or allocating more than 2x per op
+// versus serial draws a loud stderr warning (never a failure — scaling
+// is host-dependent, and the env section records the host).
 //
 // When the new artifact embeds a "baseline" section (pre-change
 // end-to-end numbers), the speedup against it is reported as well;
@@ -34,9 +38,11 @@ import (
 )
 
 type bench struct {
-	Name       string  `json:"name"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	JobsPerSec float64 `json:"jobs_per_sec"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 type env struct {
@@ -57,6 +63,41 @@ type artifact struct {
 	// IngestCurve is the saturation sweep amjs-load embeds in its
 	// BENCH artifacts (the IngestHTTP benchmark family).
 	IngestCurve []ingestStep `json:"ingest_curve"`
+	// FairRatios is the fairness-oracle overhead family scripts/bench.sh
+	// derives from the SimEndToEnd rows: fair=on vs fair=off per mode.
+	FairRatios []fairRatio `json:"fair_ratios"`
+}
+
+type fairRatio struct {
+	Mode      string  `json:"mode"`
+	FairOffNs float64 `json:"fair_off_ns"`
+	FairOnNs  float64 `json:"fair_on_ns"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// reportFairRatios prints the fairness-oracle overhead family and, when
+// the artifact's embedded baseline carries the matching SimEndToEnd
+// rows, the baseline's ratio next to it — the before/after of the
+// oracle's overhead in one table. Informational: the absolute rows are
+// already under the regression gate.
+func reportFairRatios(a *artifact) {
+	if len(a.FairRatios) == 0 {
+		return
+	}
+	base := map[string]bench{}
+	if a.Baseline != nil {
+		base = byName(a.Baseline.Benchmarks)
+	}
+	fmt.Printf("\nfair-oracle overhead (fair=on / fair=off ns/op):\n")
+	for _, r := range a.FairRatios {
+		line := fmt.Sprintf("  %-10s %5.2fx", r.Mode, r.Ratio)
+		off, okOff := base["BenchmarkSimEndToEnd/"+r.Mode+"/fair=off"]
+		on, okOn := base["BenchmarkSimEndToEnd/"+r.Mode+"/fair=on"]
+		if okOff && okOn && off.NsPerOp > 0 {
+			line += fmt.Sprintf("   (baseline %5.2fx)", on.NsPerOp/off.NsPerOp)
+		}
+		fmt.Println(line)
+	}
 }
 
 type ingestStep struct {
@@ -191,9 +232,50 @@ func reportWorkerScaling(bs []bench) {
 		for _, r := range rows {
 			speedup := base.b.NsPerOp / r.b.NsPerOp
 			eff := speedup * float64(base.workers) / float64(r.workers)
-			fmt.Printf("  workers=%-3d %14.0f ns/op  %5.2fx  %5.1f%% efficiency\n",
-				r.workers, r.b.NsPerOp, speedup, eff*100)
+			fmt.Printf("  workers=%-3d %14.0f ns/op  %10.0f allocs/op  %5.2fx  %5.1f%% efficiency\n",
+				r.workers, r.b.NsPerOp, r.b.AllocsPerOp, speedup, eff*100)
 		}
+	}
+}
+
+// warnParSearchCost screams when the parallel window search stops
+// paying for itself: any "…/search=par…" row that is more than 10%
+// slower or allocates more than twice as much per op as its family's
+// "…/search=serial" row gets a loud stderr banner. A warning, not a
+// failure — wall-clock scaling legitimately degrades on a small host
+// (the env section records the core count) — but allocation blow-ups
+// are machine-independent, so a 2x alloc ratio always deserves eyes.
+func warnParSearchCost(bs []bench) {
+	serial := make(map[string]bench)
+	for _, b := range bs {
+		if i := strings.Index(b.Name, "/search=serial"); i >= 0 {
+			serial[b.Name[:i]] = b
+		}
+	}
+	for _, b := range bs {
+		i := strings.Index(b.Name, "/search=par")
+		if i < 0 {
+			continue
+		}
+		s, ok := serial[b.Name[:i]]
+		if !ok {
+			continue
+		}
+		var gripes []string
+		if s.NsPerOp > 0 && b.NsPerOp > 1.10*s.NsPerOp {
+			gripes = append(gripes, fmt.Sprintf("%.1f%% slower than search=serial",
+				(b.NsPerOp/s.NsPerOp-1)*100))
+		}
+		if s.AllocsPerOp > 0 && b.AllocsPerOp > 2*s.AllocsPerOp {
+			gripes = append(gripes, fmt.Sprintf("%.1fx the allocs/op of search=serial (%.0f vs %.0f)",
+				b.AllocsPerOp/s.AllocsPerOp, b.AllocsPerOp, s.AllocsPerOp))
+		}
+		if len(gripes) == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchcompare: WARNING: %s: %s\n",
+			b.Name, strings.Join(gripes, "; "))
+		fmt.Fprintln(os.Stderr, "benchcompare: WARNING: the parallel search is not paying for itself on this artifact")
 	}
 }
 
@@ -250,6 +332,8 @@ func main() {
 	}
 
 	reportWorkerScaling(newArt.Benchmarks)
+	warnParSearchCost(newArt.Benchmarks)
+	reportFairRatios(newArt)
 	reportIngestCurve(newArt.IngestCurve)
 
 	if newArt.Baseline != nil {

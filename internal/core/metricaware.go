@@ -115,6 +115,15 @@ type MetricAware struct {
 	// see the interface contract).
 	lastQuiescent bool
 
+	// lastMutated implements sched.PassMutator: true when the last pass
+	// granted, released, or moved the persistent protected reservation —
+	// the only scheduler state that survives a pass and feeds later
+	// decisions. reservedStart refreshes and the pass-report fields
+	// (lastHorizon, lastQuiescent, verifyCount) are excluded: no
+	// scheduling decision ever reads them, and Schedule overwrites the
+	// reports at entry.
+	lastMutated bool
+
 	// order overrides the queue prioritization when non-nil (used by the
 	// multi-metric extension); the default is Prioritize with BF.
 	order func(now units.Time, queue []*job.Job) []*job.Job
@@ -134,6 +143,27 @@ type MetricAware struct {
 	branches   []*permSearch
 	branchRes  []branchResult
 	blockedBuf []*job.Job
+
+	// par is the parallel search's cross-goroutine state — the reusable
+	// fan-out handle, the packed shared bound, and the per-search inputs
+	// RunTask reads. Heap-allocated once per scheduler lifetime (it
+	// embeds sync primitives, which Clone's struct copy must not
+	// duplicate) and transplanted by AdoptScratch like the rest of the
+	// scratch.
+	par *parScratch
+}
+
+// parScratch is the per-scheduler state of one parallel window search.
+// The input fields (plan, window, now, n) are written by the
+// coordinating goroutine before the fan-out and are read-only to the
+// workers; bound is the packed cross-branch incumbent (see packScore).
+type parScratch struct {
+	fan    parallel.Fan
+	bound  atomic.Uint64
+	plan   machine.Plan
+	window []*job.Job
+	now    units.Time
+	n      int
 }
 
 // NewMetricAware returns a metric-aware scheduler with the given balance
@@ -169,6 +199,7 @@ func (s *MetricAware) Clone() sched.Scheduler {
 	c.branches = nil
 	c.branchRes = nil
 	c.blockedBuf = nil
+	c.par = nil
 	return &c
 }
 
@@ -193,6 +224,9 @@ func (s *MetricAware) AdoptScratch(from sched.Scheduler) {
 	}
 	if s.blockedBuf == nil {
 		s.blockedBuf, f.blockedBuf = f.blockedBuf, nil
+	}
+	if s.par == nil {
+		s.par, f.par = f.par, nil
 	}
 }
 
@@ -234,6 +268,11 @@ func (s *MetricAware) LastPassHorizon() (units.Time, bool) {
 // LastPassQuiescent implements sched.PassQuiescer.
 func (s *MetricAware) LastPassQuiescent() bool { return s.lastQuiescent }
 
+// LastPassMutatedState implements sched.PassMutator. The protected
+// reservation's holder is the only persistent decision input, so a pass
+// mutated state exactly when reservedID changed.
+func (s *MetricAware) LastPassMutatedState() bool { return s.lastMutated }
+
 // placement is one job's slot in a tentative window schedule.
 type placement struct {
 	j     *job.Job
@@ -245,6 +284,8 @@ type placement struct {
 func (s *MetricAware) Schedule(env sched.Env) {
 	s.lastHorizon, s.lastHorizonOK = 0, true
 	s.lastQuiescent = true
+	entryReserved := s.reservedID
+	defer func() { s.lastMutated = s.reservedID != entryReserved }()
 	queue := env.Queue()
 	if len(queue) == 0 {
 		return
@@ -586,13 +627,6 @@ func (s *MetricAware) bestPermutation(plan machine.Plan, window []*job.Job, now 
 	return ps.best
 }
 
-// searchBound is the cross-worker incumbent of the parallel window
-// search: the best (span, nodes) score any branch has completed so far.
-type searchBound struct {
-	span  units.Time
-	nodes int
-}
-
 // branchResult is one first-position branch's outcome: the best
 // completion found in its subtree (perm aliases the branch's scratch,
 // valid until its next search).
@@ -603,19 +637,74 @@ type branchResult struct {
 	perm  []int
 }
 
+// boundEmpty is the shared incumbent's "no completion yet" value: it
+// compares unsigned-greater-or-equal to every packable score, so an
+// empty bound never cuts anything and any real completion replaces it.
+const boundEmpty = ^uint64(0)
+
+// Packed-score layout: the secondary criterion's component occupies the
+// low boundNodeBits bits. 20 node bits cover any immediate-start sum a
+// maxPermWindow-job window on a 40960-node machine can reach; the
+// remaining 44 span bits cover ~557k simulated years. The -2 keeps the
+// largest packable score strictly below boundEmpty.
+const (
+	boundNodeBits = 20
+	boundNodeMask = (1 << boundNodeBits) - 1
+	boundSpanMax  = (1 << (64 - boundNodeBits)) - 2
+)
+
+// packScore folds a completed schedule's (span, nodes) score into one
+// uint64 whose unsigned order is exactly the objective's preference
+// order (smaller = better): the primary criterion sits in the high
+// bits, and the node count enters complemented since more nodes is
+// better. ok is false when a component overflows the packed range —
+// the caller must then skip publishing rather than clamp, because a
+// clamped key would overstate the incumbent and cut a subtree that
+// could still win.
+func packScore(span units.Time, nodes int, utilFirst bool) (uint64, bool) {
+	if span < 0 || span > boundSpanMax || nodes < 0 || nodes > boundNodeMask {
+		return 0, false
+	}
+	if utilFirst {
+		return uint64(boundNodeMask-nodes)<<(64-boundNodeBits) | uint64(span), true
+	}
+	return uint64(span)<<boundNodeBits | uint64(boundNodeMask-nodes), true
+}
+
+// packScoreFloor is packScore for candidate lower bounds: out-of-range
+// components are clamped toward "better", so the result never exceeds
+// the candidate's true key and a cut based on it is always sound.
+func packScoreFloor(span units.Time, nodes int, utilFirst bool) uint64 {
+	if span < 0 {
+		span = 0
+	} else if span > boundSpanMax {
+		span = boundSpanMax
+	}
+	if nodes > boundNodeMask {
+		nodes = boundNodeMask
+	}
+	key, _ := packScore(span, nodes, utilFirst)
+	return key
+}
+
 // bestPermutationParallel is bestPermutation with the first-position
-// choices of the search tree fanned out across the worker pool. Each
-// branch explores its subtree exactly as the serial DFS would — private
-// plan clone, private scratch, local incumbent seeded empty — so within
-// a branch the lex-earliest best completion survives. Branches share
-// one atomic incumbent used only to cut subtrees that cannot even tie
-// it (sharedWorse): a subtree containing a globally optimal completion
-// is never cut, no matter how worker scheduling interleaves the bound
-// updates. The merge walks the branches in first-position order keeping
-// strict improvements only, which is precisely the serial DFS's
-// update rule at depth 0 — so the returned permutation is byte-
-// identical to the serial search's for every worker count (pinned by
-// TestParallelSearchDeterministic).
+// choices of the search tree fanned out across the persistent helper
+// pool (parallel.Searchers). Each branch explores its subtree exactly
+// as the serial DFS would — private plan clone, private scratch, local
+// incumbent seeded empty — so within a branch the lex-earliest best
+// completion survives. Branches share one packed atomic incumbent used
+// only to cut subtrees that cannot even tie it (sharedWorse): a subtree
+// containing a globally optimal completion is never cut, no matter how
+// worker scheduling interleaves the bound updates. The merge walks the
+// branches in first-position order keeping strict improvements only,
+// which is precisely the serial DFS's update rule at depth 0 — so the
+// returned permutation is byte-identical to the serial search's for
+// every worker count (pinned by TestParallelSearchDeterministic).
+//
+// The whole fan-out allocates nothing after warm-up: branch states,
+// result slots, the Fan, and the packed bound are all per-scheduler
+// scratch provisioned once, and the helpers are process-lifetime
+// goroutines claiming branch indices from an atomic cursor.
 func (s *MetricAware) bestPermutationParallel(plan machine.Plan, window []*job.Job, now units.Time, workers int) []int {
 	n := len(window)
 	for len(s.branches) < n {
@@ -624,41 +713,22 @@ func (s *MetricAware) bestPermutationParallel(plan machine.Plan, window []*job.J
 	if cap(s.branchRes) < n {
 		s.branchRes = make([]branchResult, n)
 	}
-	results := s.branchRes[:n]
-	var shared atomic.Pointer[searchBound]
-	parallel.ForEach(n, workers, func(c int) error {
-		bs := s.branches[c]
-		clone := bs.clonePlan(plan)
-		bs.identity(n) // size the incumbent buffer
-		bs.begin(clone, window, now, s.UtilizationFirst)
-		bs.shared = &shared
-		bs.perm[0] = c
-		bs.used[c] = true
-		j := window[c]
-		span, nodes := now, 0
-		ts, hint := clone.EarliestStart(j.Nodes, j.Walltime)
-		if ts != units.Forever {
-			if end := ts.Add(j.Walltime); end > span {
-				span = end
-			}
-			if ts == now {
-				nodes = j.Nodes
-			}
-			clone.Commit(j.Nodes, ts, j.Walltime, hint)
-		}
-		bs.dfs(1, span, nodes)
-		bs.arena = bs.plan // retire the private clone for the next search
-		bs.plan, bs.window, bs.shared = nil, nil, nil
-		results[c] = branchResult{have: bs.haveBest, span: bs.bestSpan, nodes: bs.bestNodes, perm: bs.best}
-		return nil
-	})
+	s.branchRes = s.branchRes[:n]
+	if s.par == nil {
+		s.par = &parScratch{}
+	}
+	p := s.par
+	p.bound.Store(boundEmpty)
+	p.plan, p.window, p.now, p.n = plan, window, now, n
+	p.fan.Run(parallel.Searchers, n, workers, s)
+	p.plan, p.window = nil, nil // do not retain the pass's plan
 
 	out := s.search.identity(n)
 	adopted := false
 	var bestSpan units.Time
 	var bestNodes int
 	for c := 0; c < n; c++ {
-		r := results[c]
+		r := s.branchRes[c]
 		if !r.have {
 			continue
 		}
@@ -673,6 +743,37 @@ func (s *MetricAware) bestPermutationParallel(plan machine.Plan, window []*job.J
 		}
 	}
 	return out
+}
+
+// RunTask implements parallel.Runner: explore first-position branch c
+// of the current parallel window search. Each index touches only its
+// own branch state and result slot; the shared inputs in s.par are
+// read-only during the fan-out and s.par.bound is atomic.
+func (s *MetricAware) RunTask(c int) {
+	p := s.par
+	bs := s.branches[c]
+	clone := bs.clonePlan(p.plan)
+	bs.identity(p.n) // size the incumbent buffer
+	bs.begin(clone, p.window, p.now, s.UtilizationFirst)
+	bs.shared = &p.bound
+	bs.perm[0] = c
+	bs.used[c] = true
+	j := p.window[c]
+	span, nodes := p.now, 0
+	ts, hint := clone.EarliestStart(j.Nodes, j.Walltime)
+	if ts != units.Forever {
+		if end := ts.Add(j.Walltime); end > span {
+			span = end
+		}
+		if ts == p.now {
+			nodes = j.Nodes
+		}
+		clone.Commit(j.Nodes, ts, j.Walltime, hint)
+	}
+	bs.dfs(1, span, nodes)
+	bs.arena = bs.plan // retire the private clone for the next search
+	bs.plan, bs.window, bs.shared = nil, nil, nil
+	s.branchRes[c] = branchResult{have: bs.haveBest, span: bs.bestSpan, nodes: bs.bestNodes, perm: bs.best}
 }
 
 // permSearch is the branch-and-bound state of one window search. It
@@ -694,10 +795,11 @@ type permSearch struct {
 	haveBest  bool
 
 	// shared, when non-nil, is the parallel search's cross-branch
-	// incumbent. It may only cut subtrees that cannot tie-or-beat it
-	// (sharedWorse) — a strictly weaker cut than the local incumbent's —
-	// so the lex-earliest optimum always survives in its branch.
-	shared *atomic.Pointer[searchBound]
+	// incumbent, packed by packScore. It may only cut subtrees that
+	// cannot tie-or-beat it (sharedWorse) — a strictly weaker cut than
+	// the local incumbent's — so the lex-earliest optimum always
+	// survives in its branch.
+	shared *atomic.Uint64
 
 	// arena is the branch's retired private plan clone, reused by the
 	// next search on this branch (see machine.PlanCloner). Each branch
@@ -720,33 +822,27 @@ func (ps *permSearch) clonePlan(src machine.Plan) machine.Plan {
 // sharedWorse reports whether a subtree whose best conceivable
 // completion is (spanLB, maxNodes) is strictly worse than the shared
 // incumbent — it cannot even tie it, so no branch's lex order is
-// disturbed by the cut.
+// disturbed by the cut. Packed keys make this one unsigned compare; the
+// floor-clamped candidate key never exceeds the true one, so the cut
+// stays sound, and against an empty bound nothing compares worse.
 func (ps *permSearch) sharedWorse(spanLB units.Time, maxNodes int) bool {
-	sh := ps.shared.Load()
-	if sh == nil {
-		return false
-	}
-	if ps.utilFirst {
-		return maxNodes < sh.nodes || (maxNodes == sh.nodes && spanLB > sh.span)
-	}
-	return spanLB > sh.span || (spanLB == sh.span && maxNodes < sh.nodes)
+	return packScoreFloor(spanLB, maxNodes, ps.utilFirst) > ps.shared.Load()
 }
 
 // publish folds a completed schedule's score into the shared incumbent
-// if it strictly improves it.
+// if it strictly improves it (CAS-min on the packed key, allocation
+// free). Unpackable scores are skipped — the bound just stays weaker.
 func (ps *permSearch) publish(span units.Time, nodes int) {
+	key, ok := packScore(span, nodes, ps.utilFirst)
+	if !ok {
+		return
+	}
 	for {
 		cur := ps.shared.Load()
-		if cur != nil {
-			better := span < cur.span || (span == cur.span && nodes > cur.nodes)
-			if ps.utilFirst {
-				better = nodes > cur.nodes || (nodes == cur.nodes && span < cur.span)
-			}
-			if !better {
-				return
-			}
+		if key >= cur {
+			return
 		}
-		if ps.shared.CompareAndSwap(cur, &searchBound{span: span, nodes: nodes}) {
+		if ps.shared.CompareAndSwap(cur, key) {
 			return
 		}
 	}

@@ -226,6 +226,13 @@ func (t *Tuner) LastPassHorizon() (units.Time, bool) { return t.base.LastPassHor
 // force the next pass regardless.)
 func (t *Tuner) LastPassQuiescent() bool { return t.base.LastPassQuiescent() }
 
+// LastPassMutatedState implements sched.PassMutator by delegation. The
+// Tuner's own persistent state (the tunables) changes only at
+// Checkpoint, never during a pass — and the engine resolves every
+// deferred fairness batch before a retune can take effect — so a pass
+// mutates state exactly when the wrapped policy's does.
+func (t *Tuner) LastPassMutatedState() bool { return t.base.LastPassMutatedState() }
+
 // ProtectedReservation implements invariant.ReservationHolder by
 // forwarding to the wrapped scheduler.
 func (t *Tuner) ProtectedReservation() (jobID int, start units.Time, held bool) {

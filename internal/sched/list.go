@@ -34,6 +34,12 @@ func (l *List) Clone() Scheduler {
 	return &c
 }
 
+// LastPassMutatedState implements PassMutator. A list pass carries no
+// state across passes at all — every decision is recomputed from the
+// queue and machine — so no pass ever mutates persistent scheduler
+// state.
+func (l *List) LastPassMutatedState() bool { return false }
+
 // Schedule implements Scheduler.
 func (l *List) Schedule(env Env) {
 	queue := env.Queue()

@@ -67,6 +67,12 @@ func (r *Reserving) Clone() Scheduler {
 	return &c
 }
 
+// LastPassMutatedState implements PassMutator. Reserving rebuilds every
+// reservation from the queue on each pass and keeps nothing between
+// passes (the plan and its reservations are pass-local), so no pass
+// ever mutates persistent scheduler state.
+func (r *Reserving) LastPassMutatedState() bool { return false }
+
 // Schedule implements Scheduler.
 func (r *Reserving) Schedule(env Env) {
 	queue := env.Queue()

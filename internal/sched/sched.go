@@ -124,6 +124,27 @@ type PassBounder interface {
 	LastPassHorizon() (units.Time, bool)
 }
 
+// PassMutator is implemented by schedulers that can report, after each
+// Schedule call, whether the pass changed any persistent cross-pass
+// scheduler state — a protected reservation granted, released, or moved
+// to a different job. Pass-local scratch, per-pass reports (horizons,
+// quiescence), and bookkeeping no future decision reads (a re-committed
+// reservation's refreshed start instant) do not count.
+//
+// The event-mode fairness oracle consults it at phantom instants:
+// instants where the main engine runs a scheduling pass but a deferred
+// no-later-arrival world has no event at all (an extra job's arrival, a
+// checkpoint). The deferred world skips that pass entirely, so it stays
+// glued to the main schedule only if the pass both started nothing and
+// left every piece of persistent scheduler state untouched — exactly
+// the claim LastPassMutatedState lets the engine check. Schedulers that
+// cannot make the distinction simply do not implement the interface;
+// the engine then assumes every pass mutated state and resolves the
+// deferred worlds conservatively.
+type PassMutator interface {
+	LastPassMutatedState() bool
+}
+
 // PassQuiescer is implemented by schedulers whose passes are provably
 // time-invariant on unchanged state: LastPassQuiescent reports whether
 // repeating the last Schedule call at any later instant, with the same

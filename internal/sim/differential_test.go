@@ -183,22 +183,33 @@ func runDifferential(t *testing.T, cfg Config, jobs []*job.Job, fair bool) {
 	if !fair {
 		return
 	}
-	naiveCfg := cfg
-	naiveCfg.naiveOracle = true
-	naive, err := Run(naiveCfg, jobs)
-	if err != nil {
-		t.Fatalf("Run(naive oracle): %v", err)
-	}
-	if scheduleHash(naive) != scheduleHash(want) {
-		t.Error("naive-oracle schedule differs from batched-oracle schedule")
-	}
-	if len(naive.FairStarts) != len(want.FairStarts) {
-		t.Fatalf("naive oracle knows %d fair starts, batched %d",
-			len(naive.FairStarts), len(want.FairStarts))
-	}
-	for id, w := range want.FairStarts {
-		if g, ok := naive.FairStarts[id]; !ok || g != w {
-			t.Fatalf("job %d: naive fair start %v, batched %v", id, g, w)
+	// Oracle equivalence: the incremental (deferred) oracle the batch run
+	// used, the eager hook that resolves every batch at its arrival pass,
+	// and the naive clone-everything reference must agree bit for bit —
+	// on the schedule and on every fair start.
+	for _, o := range []struct {
+		name  string
+		naive bool
+		eager bool
+	}{{"naive", true, false}, {"eager", false, true}} {
+		refCfg := cfg
+		refCfg.naiveOracle = o.naive
+		refCfg.eagerOracle = o.eager
+		ref, err := Run(refCfg, jobs)
+		if err != nil {
+			t.Fatalf("Run(%s oracle): %v", o.name, err)
+		}
+		if scheduleHash(ref) != scheduleHash(want) {
+			t.Errorf("%s-oracle schedule differs from incremental-oracle schedule", o.name)
+		}
+		if len(ref.FairStarts) != len(want.FairStarts) {
+			t.Fatalf("%s oracle knows %d fair starts, incremental %d",
+				o.name, len(ref.FairStarts), len(want.FairStarts))
+		}
+		for id, w := range want.FairStarts {
+			if g, ok := ref.FairStarts[id]; !ok || g != w {
+				t.Fatalf("job %d: %s fair start %v, incremental %v", id, o.name, g, w)
+			}
 		}
 	}
 }

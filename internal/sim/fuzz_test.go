@@ -82,6 +82,14 @@ func FuzzSchedule(f *testing.F) {
 	f.Add([]byte("\x02\x04\x02\x00\x02" + "\x02\x07\x05\x01" + "\x02\x3f\x60\x00"))
 	f.Add([]byte("\x00\x05\x00\x01\x00" + "\x00\x0f\x01\x00" + "\x00\x0f\x01\x00" + "\x00\xef\x7f\x02"))
 	f.Add([]byte("\x01\x02\x01\x00\x01"))
+	// Event-mode fairness seeds walking the incremental oracle's
+	// deferral frontier: a drain where every batch resolves on the free
+	// path, an immediate contended burst that forks early, and a quiet
+	// prefix before a late burst that must survive glued across the
+	// phantom instants in between.
+	f.Add([]byte("\x01\x00\x00\x01\x00" + "\x00\x0f\x04\x00" + "\xc8\x0f\x04\x00" + "\xc8\x1f\x06\x00" + "\xc8\x0f\x04\x00"))
+	f.Add([]byte("\x00\x04\x00\x01\x01" + "\x00\xff\x20\x01" + "\x00\x7f\x10\x01" + "\x01\xff\x08\x00" + "\x01\x3f\x30\x01" + "\x00\x1f\x04\x00"))
+	f.Add([]byte("\x02\x01\x00\x01\x02" + "\x00\x1f\x04\x00" + "\xc8\x1f\x04\x00" + "\xc8\xff\x30\x01" + "\x00\x7f\x08\x00" + "\x00\x3f\x20\x01" + "\x01\x1f\x02\x00"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 5 {

@@ -101,6 +101,13 @@ type Config struct {
 	// oracle-equivalence suite proves both produce bit-identical fair
 	// starts.
 	naiveOracle bool
+
+	// eagerOracle forces the batched oracle to resolve every arrival
+	// batch at its own instant instead of deferring it against the main
+	// schedule. Test hook: the equivalence suite proves the deferred
+	// (incremental) oracle and the eager one produce bit-identical fair
+	// starts in both engine modes.
+	eagerOracle bool
 }
 
 // Result is the outcome of a simulation.
@@ -141,13 +148,19 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 	}
 
 	m := cfg.Machine.Clone()
+	// Pre-size the fair-start map for fairness runs: every accepted job
+	// gets exactly one entry, so the map never rehashes mid-run.
+	fairHint := 0
+	if cfg.Fairness {
+		fairHint = len(jobs)
+	}
 	e := &engine{
 		cfg:        cfg,
 		machine:    m,
 		scheduler:  cfg.Scheduler.Clone(),
 		running:    make(map[*job.Job]machine.Alloc),
 		collector:  metrics.NewCollector(m.TotalNodes()),
-		fairStarts: make(map[int]units.Time),
+		fairStarts: make(map[int]units.Time, fairHint),
 		dirty:      true,
 	}
 	if cfg.Paranoid {
@@ -276,16 +289,31 @@ type engine struct {
 	nextTick  units.Time
 	nextCheck units.Time
 
-	// pending holds the arrival batches whose fair starts the periodic-
-	// mode oracle has deferred, in arrival order. A batch stays glued to
-	// the main schedule — its no-later-arrival world IS the main
-	// schedule — until a scheduling pass provably acts beyond its
-	// arrival instant (the scheduler-reported horizon; see
-	// sched.PassBounder and endPassDefer), a cancellation invalidates
-	// its world, or an adaptive retune unfreezes the policy. A batch
-	// member that starts while its batch is glued resolves for free in
-	// begin: its fair start is its actual start.
+	// pending holds the arrival batches whose fair starts the oracle has
+	// deferred, in arrival order — both engine modes defer. A batch
+	// stays glued to the main schedule — its no-later-arrival world IS
+	// the main schedule — until a divergence event: a scheduling pass
+	// that provably acts beyond its arrival instant (the scheduler-
+	// reported horizon; see sched.PassBounder and endPassDefer), in
+	// event mode a phantom instant whose pass started something or
+	// mutated persistent scheduler state (see sched.PassMutator), a
+	// cancellation that invalidates its world, or an adaptive retune
+	// that unfreezes the policy. A batch member that starts while its
+	// batch is glued resolves for free in begin: its fair start is its
+	// actual start.
 	pending []pendingBatch
+
+	// batchFree recycles retired pendingBatch job slices, so a steady
+	// fairness workload stops allocating one slice per arrival instant.
+	batchFree [][]*job.Job
+
+	// endedNow records whether a completion event fired at the instant
+	// being processed. Valid only within step (cancelQueued runs between
+	// steps and must not consult it): the event-mode oracle uses it to
+	// classify the instant — a completion instant is a pass instant in
+	// every deferred batch's closed world too, while a phantom instant
+	// (arrivals of extras, checkpoints) is not.
+	endedNow bool
 
 	// Deferred-pass scratch (see beginPassDefer): the pre-pass queue
 	// snapshot, the pre-pass scheduler clone, and the starts the pass
@@ -304,6 +332,7 @@ type engine struct {
 	orderBuf []*job.Job // deterministic ordering of the running set
 	tclones  []*job.Job // clones of the oracle batch's target jobs
 }
+
 
 // pendingBatch is one arrival instant's deferred fair-start batch: the
 // jobs that arrived at instant t and still await their fair start.
@@ -362,6 +391,7 @@ func (e *engine) step() (bool, error) {
 	checkpoint := false
 	tick := false
 	e.arrived = e.arrived[:0]
+	e.endedNow = false
 
 	// Drain every event at this instant before scheduling once.
 	for {
@@ -377,6 +407,7 @@ func (e *engine) step() (bool, error) {
 		switch it.Kind {
 		case evEnd:
 			e.finish(it.Payload)
+			e.endedNow = true
 			if e.cfg.Trace != nil {
 				e.trace("end job=%d", it.Payload.ID)
 			}
@@ -423,26 +454,32 @@ func (e *engine) step() (bool, error) {
 	// instant see the same no-later-arrival world, so one nested run
 	// serves the whole batch.
 	//
-	// In periodic mode the batched oracle defers instead of simulating:
+	// The batched oracle defers instead of simulating, in both engine
+	// modes: until a divergence event the no-later-arrival world IS the
+	// main schedule, and a pending job that starts before one is
+	// resolved in begin without any nested simulation. In periodic mode
 	// the fair world runs on the same tick and checkpoint grids as the
-	// main engine, so until a divergence event — a pass that provably
-	// acts beyond the batch's arrival instant, a cancellation, an
-	// adaptive retune — the no-later-arrival world IS the main
-	// schedule, and a pending job that starts before one is resolved
-	// in begin without any nested simulation. Event-driven mode keeps
-	// the eager oracle: its fair world is the classic closed system
-	// whose passes fire on job completions, which shares no pass
-	// instants with the main engine and cannot reuse its prefix.
+	// main engine, and the divergence events are a pass that provably
+	// acts beyond the batch's arrival instant, a cancellation, and an
+	// adaptive retune. In event mode the fair world is the closed
+	// system whose passes fire exactly at the batch's own arrival and
+	// at job completions — every one of which is also a main-engine
+	// pass instant — so the same horizon test applies there, plus one
+	// extra frontier: a phantom instant, where the main engine passes
+	// but the closed world has no event at all, diverges a glued batch
+	// unless that pass both started nothing and left persistent
+	// scheduler state untouched (see endPassDefer and
+	// sched.PassMutator).
 	if e.cfg.Fairness && !e.sub && len(e.arrived) > 0 {
 		if e.cfg.naiveOracle {
 			e.fairStartNaive(e.arrived)
-		} else if e.cfg.SchedulePeriod > 0 {
+		} else if e.cfg.eagerOracle {
+			e.fairStartBatch(e.arrived)
+		} else {
 			e.pending = append(e.pending, pendingBatch{
 				t:    e.now,
-				jobs: append([]*job.Job(nil), e.arrived...),
+				jobs: e.newBatch(e.arrived),
 			})
-		} else {
-			e.fairStartBatch(e.arrived)
 		}
 	}
 
@@ -514,8 +551,7 @@ func (e *engine) step() (bool, error) {
 		if e.cfg.disableElision || e.dirty || (e.lastDelta && !e.lastQuiet) {
 			// With deferred fair-start batches outstanding, snapshot the
 			// pre-pass state so a batch the pass diverges from can fork
-			// its fair world (periodic mode only: that is the only mode
-			// that defers).
+			// its fair world.
 			deferring := len(e.pending) > 0
 			if deferring {
 				e.beginPassDefer()
@@ -602,8 +638,14 @@ func (e *engine) cancelQueued(j *job.Job) {
 		for i < len(e.pending) && e.pending[i].t < j.Submit {
 			i++
 		}
+		// forkPass is false: cancellation happens between steps, after
+		// the last instant's pass already ran — and for a glued batch the
+		// closed world ran that pass too (or provably skipped it). A
+		// fork-instant pass here would run a second pass on the post-pass
+		// state, which the closed world never does.
 		for _, b := range e.pending[i:] {
-			e.fairWorld(b.jobs, e.queue.jobs(), b.t, e.scheduler, nil, e.nextTick, e.nextCheck)
+			e.fairWorld(b.jobs, e.queue.jobs(), b.t, e.scheduler, nil, e.nextTick, e.nextCheck, false)
+			e.retireBatch(b.jobs)
 		}
 		e.pending = e.pending[:i]
 	}
@@ -814,12 +856,12 @@ func (e *engine) UtilWindowAvg(w units.Duration) float64 {
 
 // fairStartBatch computes the fair start time of every job in targets —
 // the batch of jobs that arrived at the current instant — eagerly, from
-// the current state. This is event-driven mode's oracle: its fair world
-// is the classic closed system whose passes fire on job completions,
-// sharing no pass instants with the main engine, so there is no prefix
-// to defer against.
+// the current state. This is the eagerOracle test hook's path (and the
+// semantics every deferred batch ultimately reproduces): the fork
+// instant is the targets' own arrival, a pass instant of the closed
+// world by construction.
 func (e *engine) fairStartBatch(targets []*job.Job) {
-	e.fairWorld(targets, e.queue.jobs(), e.now, e.scheduler, nil, e.nextTick, e.nextCheck)
+	e.fairWorld(targets, e.queue.jobs(), e.now, e.scheduler, nil, e.nextTick, e.nextCheck, true)
 }
 
 // fairWorld simulates one no-later-arrival world and records the fair
@@ -836,7 +878,11 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 // carries the starts a mid-resolution scheduling pass already performed
 // that the forked world, diverging from that very pass, must not see.
 // In periodic mode the world keeps scheduling on the main engine's tick
-// and checkpoint grids, re-entered at tickAt and checkAt.
+// and checkpoint grids, re-entered at tickAt and checkAt. In event mode
+// forkPass tells the world whether it has a scheduling pass at the fork
+// instant (the targets' own arrival, or a completion fired here): a
+// deferred batch forked at one of its phantom instants must not run a
+// pass the closed world never had.
 //
 // Jobs arriving at one instant are all already queued when the oracle
 // runs, so each one's no-later-arrival world is the same simulation;
@@ -847,7 +893,75 @@ func (e *engine) fairStartBatch(targets []*job.Job) {
 // clones (one arena per run) are reused across runs, so a steady
 // fairness workload allocates only the machine and scheduler clones.
 func (e *engine) fairWorld(targets, queueView []*job.Job, cutoff units.Time,
-	schedSrc sched.Scheduler, begun []passBegin, tickAt, checkAt units.Time) {
+	schedSrc sched.Scheduler, begun []passBegin, tickAt, checkAt units.Time, forkPass bool) {
+	sub := e.seedWorld(targets, queueView, cutoff, schedSrc, begun)
+	e.seedGrids(sub, tickAt, checkAt, forkPass)
+	e.runWorld(sub, targets, nil)
+}
+
+// seedGrids arms a freshly seeded fair world's scheduling events. In
+// periodic mode the world keeps scheduling on the main engine's tick
+// and checkpoint grids (checkpoints force a pass but never retune in a
+// nested run — the policy stays frozen); the caller passes the grid
+// instants as of the fork point, so a grid event mid-processing in the
+// main step re-enters at the current instant and the nested run
+// reproduces the pass the main engine is executing or about to execute.
+//
+// Event-driven mode schedules after every event batch, and when the
+// fork instant is such a batch in the closed world — the targets' own
+// arrival, or a completion that fired here — the fork must execute a
+// pass at it, or a target the closed world could start immediately sits
+// queued until the next completion (or forever, on an otherwise idle
+// machine — the fork's heap would be empty and the run would exit
+// without ever scheduling). The tick is not re-armed when the period is
+// zero, so it fires exactly once. A fork at a phantom instant (forkPass
+// false) seeds nothing: the closed world's next pass is its next
+// completion.
+func (e *engine) seedGrids(sub *engine, tickAt, checkAt units.Time, forkPass bool) {
+	if e.cfg.SchedulePeriod > 0 {
+		sub.events.Push(tickAt, evTick, nil)
+		sub.events.Push(checkAt, evCheckpoint, nil)
+	} else if forkPass {
+		sub.events.Push(e.now, evTick, nil)
+	}
+}
+
+// runWorld drives a seeded fair world until every target has started
+// and records the targets' fair starts. A non-nil firstErr (from a
+// caller that already stepped the world) skips the run and records the
+// failure outcome directly.
+func (e *engine) runWorld(sub *engine, targets []*job.Job, firstErr error) {
+	tclones := e.tclones
+	err := firstErr
+	if err == nil {
+		err = sub.run(func() bool {
+			for _, c := range tclones {
+				if c.State == job.Queued {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for i, t := range targets {
+		c := tclones[i]
+		if err != nil || (c.State != job.Running && c.State != job.Finished && c.State != job.Killed) {
+			e.fairStarts[t.ID] = units.Forever // should not happen: the queue always drains
+			continue
+		}
+		e.fairStarts[t.ID] = c.Start
+	}
+}
+
+// seedWorld builds (or rebuilds, reusing the nested engine and its
+// buffers) one no-later-arrival world at the current instant: the
+// machine cloned with the starts in begun rewound, the scheduler cloned
+// from schedSrc, and queueView filtered to jobs submitted at or before
+// cutoff, all cloned into the arena. No events are seeded; the caller
+// decides whether the world runs a full nested simulation (fairWorld)
+// or a single replayed pass (passEchoes).
+func (e *engine) seedWorld(targets, queueView []*job.Job, cutoff units.Time,
+	schedSrc sched.Scheduler, begun []passBegin) *engine {
 	sub := e.oracle
 	if sub == nil {
 		sub = &engine{
@@ -890,13 +1004,18 @@ func (e *engine) fairWorld(targets, queueView []*job.Job, cutoff units.Time,
 
 	// Clone the live jobs into the arena (the queue view and the seeded
 	// running set are disjoint). The arena is sized up front so the
-	// pointers handed to the sub-engine stay valid as it fills.
+	// pointers handed to the sub-engine stay valid as it fills; the
+	// headroom keeps a slowly growing system from reallocating it on
+	// every oracle run.
 	n := len(queueView) + len(e.running)
 	if cap(e.arena) < n {
-		e.arena = make([]job.Job, 0, n)
+		e.arena = make([]job.Job, 0, n+n/2+8)
 	}
 	arena := e.arena[:0]
 
+	if cap(e.tclones) < len(targets) {
+		e.tclones = make([]*job.Job, 0, len(targets)+8)
+	}
 	e.tclones = e.tclones[:0]
 	ti := 0
 	for _, j := range queueView {
@@ -942,45 +1061,132 @@ func (e *engine) fairWorld(targets, queueView []*job.Job, cutoff units.Time,
 		sub.events.Push(c.Start.Add(effective), evEnd, c)
 	}
 	e.arena = arena
+	return sub
+}
 
-	if e.cfg.SchedulePeriod > 0 {
-		// Grid-faithful seeding: the fair world keeps scheduling on the
-		// main engine's tick and checkpoint grids (checkpoints force a
-		// pass but never retune in a nested run — the policy stays
-		// frozen). The caller passes the grid instants as of the fork
-		// point: a grid event mid-processing in the main step re-enters
-		// at the current instant, so the nested run reproduces the pass
-		// the main engine is executing or about to execute.
-		sub.events.Push(tickAt, evTick, nil)
-		sub.events.Push(checkAt, evCheckpoint, nil)
-	} else {
-		// Event-driven mode schedules after every event batch, and in
-		// the closed world the targets' own arrival is such a batch: the
-		// fork must execute a pass at the fork instant, or a target the
-		// closed world could start immediately sits queued until the
-		// next completion (or forever, on an otherwise idle machine —
-		// the fork's heap would be empty and the run would exit without
-		// ever scheduling). The tick is not re-armed when the period is
-		// zero, so it fires exactly once.
-		sub.events.Push(e.now, evTick, nil)
+// resolveOrEcho handles a batch the pass horizon could not keep glued:
+// the horizon is conservative, so before paying for a full fair-world
+// resolution the engine replays the deferring pass in the batch's
+// restricted world and compares outcomes exactly — the same jobs
+// started on the same nodes, the same persistent scheduler state. An
+// echo (identical outcome) means the closed world runs this pass to the
+// same effect as the main engine's, the glue invariant survives, and
+// the batch keeps riding the main schedule for free; resolveOrEcho
+// reports true and the discarded replay is the only cost. On a genuine
+// divergence nothing is wasted either: the replayed world, seeded from
+// the same pre-pass snapshot a fork would use and already one step past
+// the fork instant, simply keeps running as the batch's fair world.
+//
+// The replay executes through sub.step, so both engine modes reproduce
+// the fork-instant pass bit-exactly (grids, elision bookkeeping, event
+// drains) with no duplicated step logic. Diverge candidates only reach
+// here at shared pass instants — in event mode a completion instant or
+// the batch's own arrival — so the closed world provably has a pass at
+// this instant and the replay is meaningful.
+func (e *engine) resolveOrEcho(b pendingBatch, checkpoint bool) (glued bool) {
+	echoable := true
+	for _, pb := range e.passBegins {
+		if pb.j.Submit > b.t {
+			echoable = false // the pass started an extra: genuinely diverged
+			break
+		}
 	}
+	checkAt := e.nextCheck
+	if checkpoint {
+		checkAt = e.now
+	}
+	sub := e.seedWorld(b.jobs, e.passQueue, b.t, e.passSched, e.passBegins)
+	e.seedGrids(sub, e.nextTick, checkAt, true)
+	_, err := sub.step()
+	if err == nil && echoable && e.passEchoed(sub) {
+		return true
+	}
+	e.runWorld(sub, b.jobs, err)
+	return false
+}
 
-	tclones := e.tclones
-	err := sub.run(func() bool {
-		for _, c := range tclones {
-			if c.State == job.Queued {
-				return false
+// passEchoed reports whether the restricted world's fork-instant pass
+// (just executed in sub) reproduced the main engine's deferring pass
+// exactly: the same jobs started on the same physical nodes, and the
+// same persistent scheduler state afterwards. The replay's allocation
+// handles are fresh (handles are sequence numbers), so placement is
+// compared by footprint where the machine exposes one; on
+// placement-free machines (flat) the started-job set alone determines
+// the state.
+func (e *engine) passEchoed(sub *engine) bool {
+	started := 0
+	for c, a := range sub.running {
+		if c.Start != e.now {
+			continue // seeded from the pre-pass running set
+		}
+		started++
+		match := false
+		for _, pb := range e.passBegins {
+			if pb.j.ID == c.ID {
+				match = sameFootprint(e.machine, pb.a, sub.machine, a)
+				break
 			}
 		}
-		return true
-	})
-	for i, t := range targets {
-		c := tclones[i]
-		if err != nil || (c.State != job.Running && c.State != job.Finished && c.State != job.Killed) {
-			e.fairStarts[t.ID] = units.Forever // should not happen: the queue always drains
-			continue
+		if !match {
+			return false
 		}
-		e.fairStarts[t.ID] = c.Start
+	}
+	if started != len(e.passBegins) {
+		return false
+	}
+
+	// Same persistent scheduler state. Reservation holders expose
+	// theirs for comparison; otherwise both passes must prove they
+	// mutated nothing (sched.PassMutator). Anything else is unknowable
+	// from outside, so the batch resolves.
+	if mh, ok := e.scheduler.(invariant.ReservationHolder); ok {
+		sh, ok := sub.scheduler.(invariant.ReservationHolder)
+		if !ok {
+			return false
+		}
+		mi, mt, mheld := mh.ProtectedReservation()
+		si, st, sheld := sh.ProtectedReservation()
+		return mi == si && mt == st && mheld == sheld
+	}
+	mm, mok := e.scheduler.(sched.PassMutator)
+	sm, sok := sub.scheduler.(sched.PassMutator)
+	return mok && sok && !mm.LastPassMutatedState() && !sm.LastPassMutatedState()
+}
+
+// sameFootprint reports whether two allocations on two machine
+// instances occupy the same physical units.
+func sameFootprint(m1 machine.Machine, a1 machine.Alloc, m2 machine.Machine, a2 machine.Alloc) bool {
+	f1, ok1 := m1.(machine.Footprinter)
+	f2, ok2 := m2.(machine.Footprinter)
+	if !ok1 || !ok2 {
+		return ok1 == ok2 // placement-free machines have no footprint to differ
+	}
+	u1, p1, ok1 := f1.AllocUnits(a1)
+	u2, p2, ok2 := f2.AllocUnits(a2)
+	if !ok1 || !ok2 || p1 != p2 || len(u1) != len(u2) {
+		return false
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newBatch copies jobs into a recycled (or fresh) batch slice.
+func (e *engine) newBatch(jobs []*job.Job) []*job.Job {
+	var b []*job.Job
+	if k := len(e.batchFree); k > 0 {
+		b, e.batchFree = e.batchFree[k-1], e.batchFree[:k-1]
+	}
+	return append(b, jobs...)
+}
+
+// retireBatch returns a resolved batch's job slice to the freelist.
+func (e *engine) retireBatch(b []*job.Job) {
+	if cap(b) > 0 {
+		e.batchFree = append(e.batchFree, b[:0])
 	}
 }
 
@@ -996,6 +1202,7 @@ func (e *engine) dropPending(j *job.Job) bool {
 			if p == j {
 				b.jobs = append(b.jobs[:i], b.jobs[i+1:]...)
 				if len(b.jobs) == 0 {
+					e.retireBatch(b.jobs)
 					e.pending = append(e.pending[:bi], e.pending[bi+1:]...)
 				}
 				return true
@@ -1026,10 +1233,27 @@ func (e *engine) beginPassDefer() {
 // scheduler state) on any sub-queue extending to H, so a batch at
 // instant t stays glued iff H <= t. Other schedulers fall back to
 // "extras existed": any pass that saw a job submitted after the batch's
-// instant diverges it. Diverged batches fork from the pre-pass
-// snapshot; the rest keep riding the main schedule for free. Finally
-// the deferred begin effects flush, so a batch member that started in
-// this very pass is accounted with its resolved fair start.
+// instant diverges it.
+//
+// Event mode adds the phantom-instant rule. A glued batch's closed
+// world passes exactly at its own arrival instant and at completion
+// instants — completions seed its heap and dirty it, and while glued it
+// runs no extras, so every end event it sees the main engine sees too.
+// An instant with no completion is therefore a phantom to every older
+// batch (its extra-arrival and checkpoint events do not exist in the
+// closed world): the main engine passes, the closed world does not. The
+// batch survives a phantom pass only when that pass provably changed
+// nothing — started no job and mutated no persistent scheduler state
+// (sched.PassMutator; schedulers without it are assumed to mutate) — so
+// that skipping it, as the closed world does, is the same as running
+// it. A batch born at this very instant is never phantom-diverged (its
+// world passes here by construction) and cannot horizon-diverge either:
+// every queued submit is <= now = its t.
+//
+// Diverged batches fork from the pre-pass snapshot; the rest keep
+// riding the main schedule for free. Finally the deferred begin effects
+// flush, so a batch member that started in this very pass is accounted
+// with its resolved fair start.
 func (e *engine) endPassDefer(checkpoint bool) {
 	e.passDefer = false
 	horizon := units.Time(0)
@@ -1040,10 +1264,34 @@ func (e *engine) endPassDefer(checkpoint bool) {
 	if !bounded && len(e.passQueue) > 0 {
 		horizon = e.passQueue[len(e.passQueue)-1].Submit
 	}
+	mutated := true
+	if pm, ok := e.scheduler.(sched.PassMutator); ok {
+		mutated = pm.LastPassMutatedState()
+	}
 	kept := e.pending[:0]
 	for _, b := range e.pending {
-		if horizon > b.t {
-			e.resolveBatch(b, checkpoint)
+		diverged := false
+		if e.cfg.SchedulePeriod <= 0 && !e.endedNow && b.t < e.now {
+			// A phantom instant for this batch: its closed world has no
+			// event here and runs no pass at all. The glue survives
+			// exactly when the pass provably changed nothing — started
+			// no job and mutated no persistent scheduler state — so
+			// that skipping it, as the closed world does, is the same
+			// as running it. The horizon is irrelevant here: it bounds
+			// the outcome of a pass the closed world never runs.
+			diverged = len(e.passBegins) > 0 || mutated
+			if diverged {
+				e.resolveBatch(b, checkpoint)
+			}
+		} else if horizon > b.t {
+			// The horizon cannot rule divergence out; replay the pass
+			// in the batch's restricted world and compare exactly. An
+			// echo keeps the batch glued; a mismatch means the replayed
+			// world is already resolving it.
+			diverged = !e.resolveOrEcho(b, checkpoint)
+		}
+		if diverged {
+			e.retireBatch(b.jobs)
 		} else {
 			kept = append(kept, b)
 		}
@@ -1063,13 +1311,18 @@ func (e *engine) endPassDefer(checkpoint bool) {
 // when this instant's checkpoint already fired the fork must re-inject
 // a checkpoint at now to force the pass the main engine just ran; the
 // tick grid re-arms after the pass, so nextTick still holds this
-// instant when a tick fired.
+// instant when a tick fired. In event mode the fork seeds its own pass
+// at the fork instant exactly when the closed world has one here: a
+// completion fired, or the batch was born at this instant — at a pure
+// phantom instant the closed world schedules nothing until its next
+// completion.
 func (e *engine) resolveBatch(b pendingBatch, checkpoint bool) {
 	checkAt := e.nextCheck
 	if checkpoint {
 		checkAt = e.now
 	}
-	e.fairWorld(b.jobs, e.passQueue, b.t, e.passSched, e.passBegins, e.nextTick, checkAt)
+	e.fairWorld(b.jobs, e.passQueue, b.t, e.passSched, e.passBegins, e.nextTick, checkAt,
+		e.endedNow || b.t == e.now)
 }
 
 // resolvePending resolves every deferred batch against the current
@@ -1082,7 +1335,9 @@ func (e *engine) resolveBatch(b pendingBatch, checkpoint bool) {
 // replay this instant's pass under the frozen policy.
 func (e *engine) resolvePending() {
 	for _, b := range e.pending {
-		e.fairWorld(b.jobs, e.queue.jobs(), b.t, e.scheduler, nil, e.nextTick, e.nextCheck)
+		e.fairWorld(b.jobs, e.queue.jobs(), b.t, e.scheduler, nil, e.nextTick, e.nextCheck,
+			e.endedNow || b.t == e.now)
+		e.retireBatch(b.jobs)
 	}
 	e.pending = e.pending[:0]
 }

@@ -1,33 +1,39 @@
 #!/bin/sh
 # Runs the scheduling benchmarks and writes a machine-readable summary
-# to BENCH_<n>.json (default BENCH_4.json) so perf changes are tracked
+# to BENCH_<n>.json (default BENCH_6.json) so perf changes are tracked
 # in-repo. The default set covers the window-search micro-benchmarks,
 # the end-to-end simulation benchmark (BenchmarkSimEndToEnd), and the
 # full-Intrepid 50k-job scale benchmark (BenchmarkSimAtScale), which
-# now sweeps the work-stealing search across worker counts.
+# sweeps the work-stealing search across worker counts.
 #
-# The emitted file carries two audit sections:
+# The emitted file carries three audit sections:
 #
 #   - "env": GOMAXPROCS (pinned for the run, see below), the worker-pool
 #     width the parallel search would use (one per CPU), and the CPU
 #     model, so cross-machine comparisons are honest (cmd/benchcompare
 #     warns on mismatch);
 #   - "baseline": the numbers measured by the previous PR's artifact
-#     (BENCH_3: bitset occupancy, indexed availability profiles, first
-#     parallel window search), so the speedup from the batched fairness
-#     oracle and the zero-alloc hot path is auditable from the artifact
-#     alone.
+#     (BENCH_4: batched fairness oracle, zero-alloc serial hot path,
+#     first worker-count sweep), so the speedup from the incremental
+#     event-mode oracle and the per-worker search arenas is auditable
+#     from the artifact alone;
+#   - "fair_ratios": the fairness-oracle overhead family — for each
+#     engine mode, fair=on versus fair=off ns/op and their ratio,
+#     computed from this run's own SimEndToEnd rows. The ratio is the
+#     number the incremental oracle exists to shrink, so it is recorded
+#     first-class rather than left to artifact readers to derive.
 #
 # Usage: scripts/bench.sh [output.json] [bench regex]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_6.json}
 pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale'}
 raw=$(mktemp)
 body=$(mktemp)
-trap 'rm -f "$raw" "$body"' EXIT
+ratios=$(mktemp)
+trap 'rm -f "$raw" "$body" "$ratios"' EXIT
 
 # Pin GOMAXPROCS for the whole run so the recorded value is the value
 # the benchmarks actually ran under (an inherited mid-run change or an
@@ -72,12 +78,41 @@ awk '
         best[name] = line
         bestNs[name] = ns + 0
     }
+    if (name ~ /SimEndToEnd/) fairNs[name] = bestNs[name]
 }
 END {
     for (i = 1; i <= n; i++)
         printf "%s%s\n", best[order[i]], (i < n ? "," : "")
 }
 ' "$raw" >"$body"
+
+# Derive the fair-oracle overhead family from the SimEndToEnd rows just
+# kept: per mode, fair=on vs fair=off ns/op and the ratio between them.
+awk -F'"' '
+/SimEndToEnd/ {
+    name = $4
+    split($0, f, "\"ns_per_op\": ")
+    ns = f[2] + 0
+    mode = name
+    sub(/^BenchmarkSimEndToEnd\//, "", mode)
+    sub(/\/fair=(on|off)$/, "", mode)
+    if (name ~ /fair=on$/)  on[mode] = ns
+    if (name ~ /fair=off$/) off[mode] = ns
+    if (!(mode in seen)) { order[++n] = mode; seen[mode] = 1 }
+}
+END {
+    first = 1
+    for (i = 1; i <= n; i++) {
+        m = order[i]
+        if (!(m in on) || !(m in off) || off[m] == 0) continue
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"mode\": \"%s\", \"fair_off_ns\": %d, \"fair_on_ns\": %d, \"ratio\": %.2f}", \
+            m, off[m], on[m], on[m] / off[m]
+    }
+    if (!first) printf "\n"
+}
+' "$body" >"$ratios"
 
 {
 	printf '{\n'
@@ -90,17 +125,24 @@ END {
 	printf '  },\n'
 	cat <<'EOF'
   "baseline": {
-    "note": "BENCH_3: previous PR (full-Intrepid bitset occupancy, indexed plans, first parallel search), same machine class, gomaxprocs=1",
+    "note": "BENCH_4: previous PR (batched fairness oracle, zero-alloc serial hot path, first worker sweep), same machine class, gomaxprocs=1",
     "benchmarks": [
-      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 1359974961, "jobs_per_sec": 36765, "bytes_per_op": 176817568, "allocs_per_op": 1317304},
-      {"name": "BenchmarkSimAtScale/search=par", "ns_per_op": 1280900250, "jobs_per_sec": 39035, "bytes_per_op": 176817552, "allocs_per_op": 1317304},
-      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 2435262, "jobs_per_sec": 104712, "bytes_per_op": 420486, "allocs_per_op": 5642},
-      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 14442696, "jobs_per_sec": 17656, "bytes_per_op": 1861215, "allocs_per_op": 31209},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 28706793, "jobs_per_sec": 8883, "bytes_per_op": 14588744, "allocs_per_op": 126670},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 107223042, "jobs_per_sec": 2378, "bytes_per_op": 33108411, "allocs_per_op": 458007}
+      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 1123960857, "jobs_per_sec": 44486, "bytes_per_op": 37747520, "allocs_per_op": 774},
+      {"name": "BenchmarkSimAtScale/search=par", "ns_per_op": 1084352380, "jobs_per_sec": 46111, "bytes_per_op": 37747520, "allocs_per_op": 774},
+      {"name": "BenchmarkSimAtScale/search=par/workers=1", "ns_per_op": 1137142867, "jobs_per_sec": 43970, "bytes_per_op": 37747520, "allocs_per_op": 774},
+      {"name": "BenchmarkSimAtScale/search=par/workers=2", "ns_per_op": 1306023621, "jobs_per_sec": 38284, "bytes_per_op": 42894488, "allocs_per_op": 169871},
+      {"name": "BenchmarkSimAtScale/search=par/workers=4", "ns_per_op": 1324170534, "jobs_per_sec": 37760, "bytes_per_op": 44567064, "allocs_per_op": 196006},
+      {"name": "BenchmarkSimAtScale/search=par/workers=8", "ns_per_op": 1276246829, "jobs_per_sec": 39177, "bytes_per_op": 45387736, "allocs_per_op": 208841},
+      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 2123500, "jobs_per_sec": 120085, "bytes_per_op": 146946, "allocs_per_op": 313},
+      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 11208154, "jobs_per_sec": 22751, "bytes_per_op": 342964, "allocs_per_op": 1096},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 5719212, "jobs_per_sec": 44587, "bytes_per_op": 171551, "allocs_per_op": 319},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 12484426, "jobs_per_sec": 20425, "bytes_per_op": 377151, "allocs_per_op": 1716}
     ]
   },
 EOF
+	printf '  "fair_ratios": [\n'
+	cat "$ratios"
+	printf '  ],\n'
 	printf '  "benchmarks": [\n'
 	cat "$body"
 	printf '  ]\n}\n'
