@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-bench race-par vet bench-smoke load-smoke fuzz fuzz-corpus verify bench bench-compare bench-fair bench-ingest profile run-daemon clean
+.PHONY: all build test race race-bench race-par vet bench-smoke load-smoke whatif-smoke fuzz fuzz-corpus verify bench bench-compare bench-fair bench-ingest profile run-daemon clean
 
 all: build
 
@@ -42,7 +42,7 @@ vet:
 # bit-rot without the minutes-long measured run. The ingest-decode
 # family lives in internal/server, so both paths are swept.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale|SimWhatIf' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'IngestDecode' -benchtime 1x ./internal/server
 
 # load-smoke boots amjsd on an ephemeral port and batch-submits 100k
@@ -50,6 +50,13 @@ bench-smoke:
 # floor (see scripts/load_smoke.sh for the MIN_RATE/JOBS/BATCH knobs).
 load-smoke:
 	./scripts/load_smoke.sh
+
+# whatif-smoke boots amjsd with the simulation-in-the-loop tuner on an
+# ephemeral port, batch-submits a contended trace, drains, and asserts
+# via /v1/tuner that the planner committed at least one (BF, W) retune
+# (see scripts/whatif_smoke.sh).
+whatif-smoke:
+	./scripts/whatif_smoke.sh
 
 # fuzz-corpus asserts the committed seed corpora exist: a fuzz target
 # whose corpus directory vanished would silently fuzz from nothing.
@@ -86,16 +93,16 @@ bench:
 # previous PR's and fails if anything shared regressed by more than
 # 20% ns/op (see cmd/benchcompare).
 bench-compare:
-	$(GO) run ./cmd/benchcompare BENCH_4.json BENCH_6.json
+	$(GO) run ./cmd/benchcompare BENCH_6.json BENCH_7.json
 
 # bench-fair re-measures just the end-to-end fairness family and
-# rewrites BENCH_6.json with the fair-on/fair-off ratio per engine mode
+# rewrites BENCH_7.json with the fair-on/fair-off ratio per engine mode
 # (the "fair_ratios" section): the quick loop for iterating on the
 # incremental oracle without the minutes-long full sweep. Note it leaves
 # the artifact without the micro and at-scale families; run `make bench`
 # for the committable artifact.
 bench-fair:
-	./scripts/bench.sh BENCH_6.json 'SimEndToEnd'
+	./scripts/bench.sh BENCH_7.json 'SimEndToEnd'
 
 # bench-ingest measures the daemon's HTTP ingest saturation curve over
 # TCP loopback and writes BENCH_5.json (see scripts/bench_ingest.sh).

@@ -34,6 +34,7 @@ import (
 	"amjs/internal/sched"
 	"amjs/internal/sim"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -167,6 +168,45 @@ func BFScheme(thresholdMinutes float64) Scheme { return core.PaperBFScheme(thres
 // WScheme is the paper's window rule: when 10-hour average utilization
 // falls below the 24-hour average, W grows to 4; otherwise back to 1.
 func WScheme() Scheme { return core.PaperWScheme() }
+
+// WhatIfConfig parameterizes the simulation-in-the-loop tuner: the
+// lookahead horizon, scoring objective, (BF, W) candidate grid,
+// wall-clock budget, and shadow (observe-only) mode. The zero value
+// uses the documented defaults.
+type WhatIfConfig = whatif.Config
+
+// WhatIfPlanner forks the engine state at every adaptive checkpoint,
+// simulates the candidate grid over a short horizon, and commits the
+// best-scoring (BF, W) pair — lookahead-driven tuning in place of the
+// paper's threshold rules.
+type WhatIfPlanner = whatif.Planner
+
+// WhatIfDecision is one checkpoint's recorded what-if outcome.
+type WhatIfDecision = whatif.Decision
+
+// WhatIfStatus snapshots a planner: counters, latency histogram, and
+// the decision log (Result.WhatIf after a run).
+type WhatIfStatus = whatif.Status
+
+// What-if rollout objectives (lower scores win).
+const (
+	// WhatIfAvgWait minimizes the queued population's mean accrued wait.
+	WhatIfAvgWait = whatif.AvgWait
+	// WhatIfBSLD minimizes mean bounded slowdown.
+	WhatIfBSLD = whatif.BSLD
+	// WhatIfUtilization maximizes busy-node fraction over the horizon.
+	WhatIfUtilization = whatif.Utilization
+	// WhatIfBlend is the fairness-weighted composite objective.
+	WhatIfBlend = whatif.Blend
+)
+
+// NewWhatIfPlanner builds a planner from the config.
+func NewWhatIfPlanner(cfg WhatIfConfig) *WhatIfPlanner { return whatif.NewPlanner(cfg) }
+
+// WhatIfScheme wraps a planner as a tuning scheme:
+// NewTuner(WhatIfScheme(NewWhatIfPlanner(cfg))) schedules with
+// simulation-in-the-loop (BF, W) adaptation.
+func WhatIfScheme(p *WhatIfPlanner) Scheme { return core.WhatIf(p) }
 
 // Scorer contributes one normalized metric to a multi-metric priority
 // (the generalization of Eq. 3 the paper's future work calls for).

@@ -21,6 +21,7 @@ import (
 	"amjs/internal/sim"
 	"amjs/internal/stats"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -328,6 +329,54 @@ func BenchmarkSimAtScale(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkSimWhatIf measures the simulation-in-the-loop tuner against
+// the threshold-rule tuner it replaces: end-to-end throughput plus the
+// planner's own accounting — the mean wall cost of one lookahead tick
+// (every candidate rollout at a checkpoint) and the fraction of the
+// whole run spent inside lookahead. The acceptance bar is overhead-%
+// ≤ 10 at the default horizon: what-if tuning must ride along at a
+// small fraction of the simulation it steers.
+func BenchmarkSimWhatIf(b *testing.B) {
+	jobs := benchJobs(b, 42, 400)
+	for _, c := range []struct {
+		name   string
+		s      func() sched.Scheduler
+		period units.Duration
+	}{
+		{"rules/event", func() sched.Scheduler {
+			return core.NewTuner(core.PaperBFScheme(500), core.PaperWScheme())
+		}, 0},
+		{"whatif/event", func() sched.Scheduler {
+			return core.NewTuner(core.WhatIf(whatif.NewPlanner(whatif.Config{})))
+		}, 0},
+		{"whatif/periodic", func() sched.Scheduler {
+			return core.NewTuner(core.WhatIf(whatif.NewPlanner(whatif.Config{})))
+		}, 10 * units.Second},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *sim.Result
+			for n := 0; n < b.N; n++ {
+				var err error
+				res, err = sim.Run(sim.Config{
+					Machine:        benchMachine(),
+					Scheduler:      c.s(),
+					SchedulePeriod: c.period,
+				}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			if ws := res.WhatIf; ws != nil && ws.LatCount > 0 {
+				perRunSec := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(ws.LatSumSec/float64(ws.LatCount)*1e3, "tick-ms")
+				b.ReportMetric(ws.LatSumSec/perRunSec*100, "overhead-%")
+				b.ReportMetric(float64(ws.Commits), "commits")
+			}
 		})
 	}
 }

@@ -70,6 +70,7 @@ func main() {
 		"table2":    experiments.Table2,
 		"table3":    experiments.Table3,
 		"extras":    experiments.Extras,
+		"whatif":    experiments.WhatIf,
 		"multiseed": experiments.MultiSeed,
 		"scaling":   experiments.Scaling,
 	}
@@ -80,7 +81,7 @@ func main() {
 	for _, name := range names {
 		run, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, multiseed, scaling)\n", name)
+			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, whatif, multiseed, scaling)\n", name)
 			exit(2)
 		}
 		if err := run(opt); err != nil {

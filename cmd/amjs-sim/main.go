@@ -24,7 +24,7 @@ func main() {
 	var (
 		machineSpec  = flag.String("machine", "intrepid", "machine model: intrepid, flat:N, partition:MxK")
 		workloadSpec = flag.String("workload", "intrepid", "workload: intrepid, intrepid-heavy, mini, swf:PATH")
-		policySpec   = flag.String("policy", "easy", "policy: fcfs, sjf, ljf, firstfit, easy, conservative, wfp, dynp, metric:BF:W, adaptive:{bf,w,2d}[:THRESHOLD]")
+		policySpec   = flag.String("policy", "easy", "policy: fcfs, sjf, ljf, firstfit, easy, conservative, wfp, dynp, metric:BF:W, adaptive:{bf,w,2d}[:THRESHOLD], whatif[:OBJ[:HORIZON-H[:observe]]]")
 		seed         = flag.Int64("seed", 42, "workload generator seed")
 		maxJobs      = flag.Int("jobs", 0, "cap the number of jobs (0 = no cap)")
 		fairness     = flag.Bool("fairness", false, "run the fair-start oracle (slower; enables the unfair-job count)")
@@ -72,6 +72,21 @@ func run(machineSpec, workloadSpec, policySpec string, seed int64, maxJobs int, 
 	fmt.Printf("loss of capacity: %.2f%%\n", met.LoC()*100)
 	fmt.Printf("utilization:     %.1f%% (busy) / %.1f%% (requested)\n", met.UtilAvg()*100, met.UsedAvg()*100)
 	fmt.Printf("finished/killed: %d / %d\n", met.FinishedCount(), met.KilledCount())
+	if ws := res.WhatIf; ws != nil {
+		fmt.Printf("what-if:         %s objective, %d ticks, %d rollouts, %d commits, %d skips\n",
+			ws.Objective, ws.Ticks, ws.Evaluated, ws.Commits, ws.Skipped)
+		if verbose {
+			for _, d := range ws.Decisions {
+				state := "kept"
+				if d.Committed {
+					state = "commit"
+				}
+				fmt.Printf("  t=%7.1fh %-6s (%.2g,%d) -> (%.2g,%d)  score %.3f -> %.3f  (%d/%d rollouts)\n",
+					units.Duration(d.At).HoursF(), state, d.PrevBF, d.PrevW, d.BF, d.W,
+					d.PrevScore, d.Score, d.Evaluated, d.Candidates)
+			}
+		}
+	}
 	if len(res.Jobs) > 0 {
 		first, last := res.Jobs[0].Submit, res.Jobs[0].End
 		for _, j := range res.Jobs {

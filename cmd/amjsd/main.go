@@ -11,8 +11,10 @@
 // Endpoints: POST /v1/jobs (a JSON object submits one job; a JSON
 // array batch-submits through the sharded ingest lanes with per-item
 // results), GET|DELETE /v1/jobs/{id}, GET /v1/queue, GET /v1/machine,
-// GET /v1/events (streaming NDJSON job-event feed), POST /v1/drain,
-// GET /metrics, /healthz, /readyz.
+// GET /v1/tuner (adaptive-policy snapshot with what-if decision log),
+// GET /v1/events (streaming NDJSON job-event feed; ?user= and ?state=
+// filter before buffering), POST /v1/drain, GET /metrics, /healthz,
+// /readyz.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"amjs/internal/cli"
+	"amjs/internal/core"
 	"amjs/internal/server"
 	"amjs/internal/units"
 )
@@ -66,7 +69,7 @@ func run(ctx context.Context, args []string, announce io.Writer) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
 		machineSpec = fs.String("machine", "intrepid", "machine model: intrepid, flat:N, partition:MxK")
-		policySpec  = fs.String("policy", "easy", "policy: easy, metric:BF:W, adaptive:{bf,w,2d}[:THRESHOLD], ...")
+		policySpec  = fs.String("policy", "easy", "policy: easy, metric:BF:W, adaptive:{bf,w,2d}[:THRESHOLD], whatif[:OBJ[:HORIZON-H]], ...")
 		speedupSpec = fs.String("speedup", "60", "virtual seconds per wall second, or \"inf\" for batch semantics")
 		period      = fs.Duration("period", 10*time.Second, "scheduling pass period in virtual time (0 = event-driven)")
 		checkEvery  = fs.Duration("check-interval", 30*time.Minute, "adaptive checking interval C_i in virtual time")
@@ -79,6 +82,8 @@ func run(ctx context.Context, args []string, announce io.Writer) error {
 		queue       = fs.Int("ingest-queue", 0, "per-lane staged-submission bound (0 = default)")
 		maxBatch    = fs.Int("max-batch", 0, "POST /v1/jobs array-item cap (0 = default)")
 		eventRing   = fs.Int("event-ring", 0, "per-subscriber /v1/events buffer (0 = default)")
+		wiBudget    = fs.Duration("whatif-budget", 25*time.Millisecond, "wall-clock cap per what-if lookahead tick (0 = unbounded)")
+		wiWorkers   = fs.Int("whatif-workers", 0, "what-if rollout fan-out (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +106,21 @@ func run(ctx context.Context, args []string, announce io.Writer) error {
 	speedup, err := parseSpeedup(*speedupSpec)
 	if err != nil {
 		return err
+	}
+	// What-if planner knobs must land before server.New: the daemon
+	// clones the scheduler into its live session, and the clone copies
+	// the planner's configuration at that moment. A live daemon caps
+	// each lookahead tick with a wall-clock budget so the scheduling
+	// loop's latency stays bounded; at speedup=inf the engine runs
+	// batch semantics, where an unbounded deterministic tick is the
+	// point, so the budget only applies to finite speedups.
+	if tu, ok := policy.(*core.Tuner); ok {
+		if p, ok := tu.WhatIfPlanner(); ok {
+			if !math.IsInf(speedup, 1) {
+				p.SetBudget(*wiBudget)
+			}
+			p.SetWorkers(*wiWorkers)
+		}
 	}
 
 	d, err := server.New(server.Config{

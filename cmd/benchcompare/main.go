@@ -20,7 +20,11 @@
 // that comparison is informational and never fails the run. Artifacts
 // written by amjs-load -json additionally carry an "ingest_curve"
 // section (the IngestHTTP family's saturation sweep), which is printed
-// as a table.
+// as a table. Artifacts written by scripts/bench.sh carry "fair_ratios"
+// (fairness-oracle overhead per engine mode) and "whatif" (the
+// simulation-in-the-loop tuner's tick-latency family) sections, each
+// printed as its own table; a what-if variant whose lookahead spend
+// exceeds 10% of the at-scale end-to-end runtime draws a warning.
 //
 // When both artifacts carry an "env" section (GOMAXPROCS, search
 // worker count, CPU model), any mismatch is reported as a warning —
@@ -66,6 +70,42 @@ type artifact struct {
 	// FairRatios is the fairness-oracle overhead family scripts/bench.sh
 	// derives from the SimEndToEnd rows: fair=on vs fair=off per mode.
 	FairRatios []fairRatio `json:"fair_ratios"`
+	// WhatIf is the lookahead-tuning cost family scripts/bench.sh
+	// derives from the SimWhatIf rows: per variant the mean lookahead
+	// tick cost, its share of the run, and the run's total lookahead
+	// spend as a percentage of the at-scale end-to-end runtime.
+	WhatIf []whatIfCost `json:"whatif"`
+}
+
+type whatIfCost struct {
+	Variant        string  `json:"variant"`
+	TickMs         float64 `json:"tick_ms"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	Commits        int     `json:"commits"`
+	AtScaleTickPct float64 `json:"atscale_tick_pct"`
+}
+
+// reportWhatIf prints the what-if tick-latency family. The
+// atscale_tick_pct column is the acceptance ratio the artifact records
+// (lookahead spend vs at-scale end-to-end runtime, bar <= 10%); a
+// breach draws a loud stderr warning, not a failure, because the
+// absolute SimWhatIf rows are already under the regression gate.
+func reportWhatIf(a *artifact) {
+	if len(a.WhatIf) == 0 {
+		return
+	}
+	fmt.Printf("\nwhat-if tick latency:\n")
+	fmt.Printf("  %-18s %10s %12s %9s %16s\n",
+		"variant", "tick ms", "overhead %", "commits", "vs at-scale %")
+	for _, w := range a.WhatIf {
+		fmt.Printf("  %-18s %10.4f %12.2f %9d %16.3f\n",
+			w.Variant, w.TickMs, w.OverheadPct, w.Commits, w.AtScaleTickPct)
+		if w.AtScaleTickPct > 10 {
+			fmt.Fprintf(os.Stderr,
+				"benchcompare: WARNING: %s: lookahead spend is %.1f%% of at-scale runtime (bar: 10%%)\n",
+				w.Variant, w.AtScaleTickPct)
+		}
+	}
 }
 
 type fairRatio struct {
@@ -334,6 +374,7 @@ func main() {
 	reportWorkerScaling(newArt.Benchmarks)
 	warnParSearchCost(newArt.Benchmarks)
 	reportFairRatios(newArt)
+	reportWhatIf(newArt)
 	reportIngestCurve(newArt.IngestCurve)
 
 	if newArt.Baseline != nil {

@@ -59,4 +59,27 @@ func main() {
 		static.Metrics.AvgWaitMinutes(), adaptive.Metrics.AvgWaitMinutes())
 	fmt.Printf("max QD:   static %.0f min -> adaptive %.0f min\n",
 		qs.MaxValue(), qa.MaxValue())
+
+	// Third run: replace the threshold rule with the what-if planner —
+	// at every checkpoint it forks the engine, simulates each (BF, W)
+	// candidate one virtual hour ahead, and commits the best rollout.
+	whatif, err := amjs.Run(amjs.SimConfig{
+		Machine: machine(),
+		Scheduler: amjs.NewTuner(amjs.WhatIfScheme(amjs.NewWhatIfPlanner(amjs.WhatIfConfig{
+			Horizon: amjs.Hour,
+		}))),
+	}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := whatif.WhatIf
+	fmt.Printf("\nwhat-if lookahead (1h horizon): avg wait %.1f min, %d commits over %d checkpoints\n",
+		whatif.Metrics.AvgWaitMinutes(), ws.Commits, ws.Ticks)
+	for _, d := range ws.Decisions {
+		if d.Committed {
+			fmt.Printf("  t=%5.1fh  (BF=%.2g, W=%d) -> (BF=%.2g, W=%d)  predicted %s %.1f -> %.1f\n",
+				amjs.Duration(d.At).HoursF(), d.PrevBF, d.PrevW, d.BF, d.W,
+				ws.Objective, d.PrevScore, d.Score)
+		}
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"amjs/internal/machine"
 	"amjs/internal/sched"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -120,6 +121,15 @@ func ParseWorkload(spec string, seed int64, maxJobs int) ([]*job.Job, string, er
 //	adaptive:bf:THRESHOLD              adaptive balance factor
 //	adaptive:w                         adaptive window size
 //	adaptive:2d:THRESHOLD              two-dimensional tuning
+//	whatif[:OBJ[:HORIZON-H[:observe]]] simulation-in-the-loop tuning:
+//	                                   at each checkpoint the engine
+//	                                   forks and simulates a (BF, W)
+//	                                   candidate grid HORIZON-H virtual
+//	                                   hours ahead, committing the best
+//	                                   rollout under objective OBJ
+//	                                   (avg-wait, bsld, util, blend);
+//	                                   "observe" evaluates without
+//	                                   committing
 //
 // THRESHOLD is the queue-depth trigger in minutes.
 func ParsePolicy(spec string) (sched.Scheduler, error) {
@@ -208,6 +218,32 @@ func ParsePolicy(spec string) (sched.Scheduler, error) {
 		default:
 			return nil, fmt.Errorf("cli: unknown adaptive scheme %q (bf, w, 2d)", parts[1])
 		}
+	case "whatif":
+		if len(parts) > 4 {
+			return nil, fmt.Errorf("cli: bad whatif policy %q (want whatif[:OBJECTIVE[:HORIZON-HOURS[:observe]]])", spec)
+		}
+		var cfg whatif.Config
+		if len(parts) >= 2 && parts[1] != "" {
+			obj, err := whatif.ParseObjective(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("cli: %w", err)
+			}
+			cfg.Objective = obj
+		}
+		if len(parts) >= 3 && parts[2] != "" {
+			hours, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || hours <= 0 {
+				return nil, fmt.Errorf("cli: bad horizon in %q (want hours > 0)", spec)
+			}
+			cfg.Horizon = units.Hours(hours)
+		}
+		if len(parts) == 4 {
+			if parts[3] != "observe" {
+				return nil, fmt.Errorf("cli: bad whatif policy suffix %q (want observe)", parts[3])
+			}
+			cfg.Observe = true
+		}
+		return core.NewTuner(core.WhatIf(whatif.NewPlanner(cfg))), nil
 	default:
 		return nil, fmt.Errorf("cli: unknown policy %q", spec)
 	}

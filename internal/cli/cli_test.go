@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"amjs/internal/core"
+	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -101,9 +103,25 @@ func TestParsePolicy(t *testing.T) {
 	if err != nil || !s.(*core.MetricAware).Conservative {
 		t.Errorf("conservative metric parse wrong: %v %v", s, err)
 	}
+	s, err = ParsePolicy("whatif:bsld:4:observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "adaptive(whatif)" {
+		t.Errorf("whatif policy Name = %q", s.Name())
+	}
+	p, ok := s.(*core.Tuner).WhatIfPlanner()
+	if !ok {
+		t.Fatal("whatif policy has no planner")
+	}
+	if cfg := p.Config(); cfg.Objective != whatif.BSLD ||
+		cfg.Horizon != 4*units.Hour || !cfg.Observe {
+		t.Errorf("whatif parse wrong: %+v", p.Config())
+	}
 	for _, spec := range []string{
 		"adaptive:bf", "adaptive:w", "adaptive:2d", "adaptive:bf:500",
 		"fairshare", "fairshare:12", "relaxed:15", "relaxed:0",
+		"whatif", "whatif:bsld", "whatif:util:4", "whatif:blend:0.5:observe",
 	} {
 		if _, err := ParsePolicy(spec); err != nil {
 			t.Errorf("%q rejected: %v", spec, err)
@@ -113,6 +131,8 @@ func TestParsePolicy(t *testing.T) {
 		"metric:2:1", "metric:0.5:0", "metric:0.5", "metric:0.5:1:bogus",
 		"adaptive", "adaptive:x", "adaptive:bf:-1", "nonsense:1",
 		"relaxed", "relaxed:x", "relaxed:-1", "fairshare:0", "fairshare:x",
+		"whatif:bogus", "whatif:bsld:0", "whatif:bsld:x", "whatif:bsld:1:commit",
+		"whatif:bsld:1:observe:extra",
 	}
 	for _, spec := range bad {
 		if _, err := ParsePolicy(spec); err == nil {

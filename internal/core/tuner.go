@@ -39,6 +39,17 @@ type Monitor interface {
 	Describe() string
 }
 
+// MonitorCloner is implemented by monitors that carry mutable state (a
+// decision log, counters — the what-if planner does). Tuner.Clone
+// deep-copies them so no engine fork — a fairness-oracle world, a
+// pass-defer snapshot, a second Live session built from the same
+// Config — ever shares a stateful monitor with the original. The
+// returned value must satisfy Monitor; the any return keeps
+// implementations outside core free of an import cycle.
+type MonitorCloner interface {
+	CloneMonitor() any
+}
+
 // QueueDepthMonitor watches the queue-depth metric (the sum of the
 // waits accumulated by all queued jobs, in minutes). While the depth is
 // at or above the threshold it fires E_m (the scheme lowers BF toward
@@ -173,6 +184,13 @@ func NewTuner(schemes ...Scheme) *Tuner {
 		if err := s.Validate(); err != nil {
 			panic(err.Error())
 		}
+		if init, ok := s.Monitor.(initialSetter); ok {
+			// A joint scheme (what-if) seeds both tunables at once.
+			bf, w := init.InitialTunables()
+			base.BF = bf
+			base.W = w
+			continue
+		}
 		applyTunable(base, s.Target, s.Initial)
 	}
 	return &Tuner{base: base, schemes: schemes}
@@ -182,7 +200,11 @@ func NewTuner(schemes ...Scheme) *Tuner {
 func (t *Tuner) Name() string {
 	parts := make([]string, len(t.schemes))
 	for i, s := range t.schemes {
-		parts[i] = s.Target.String()
+		if n, ok := s.Monitor.(interface{ SchemeName() string }); ok {
+			parts[i] = n.SchemeName()
+		} else {
+			parts[i] = s.Target.String()
+		}
 	}
 	return fmt.Sprintf("adaptive(%s)", strings.Join(parts, "+"))
 }
@@ -199,9 +221,24 @@ func (t *Tuner) Schedule(env sched.Env) { t.base.Schedule(env) }
 // Clone implements sched.Scheduler. The clone carries the current
 // tuning state; in nested (fairness-oracle) simulations no checkpoints
 // fire, so the policy stays frozen there, as DESIGN.md specifies.
+//
+// The schemes slice is copied, and monitors that declare mutable state
+// (MonitorCloner) are deep-copied with it: before that fix the rebuilt
+// slice still aliased the original's Monitor interface values, so a
+// stateful monitor was silently shared across every fork — harmless
+// for the value-type threshold monitors, a cross-session leak for the
+// what-if planner's counters and decision log.
 func (t *Tuner) Clone() sched.Scheduler {
 	base := *t.base
-	return &Tuner{base: &base, schemes: append([]Scheme(nil), t.schemes...)}
+	schemes := append([]Scheme(nil), t.schemes...)
+	for i := range schemes {
+		if mc, ok := schemes[i].Monitor.(MonitorCloner); ok {
+			if m, ok := mc.CloneMonitor().(Monitor); ok {
+				schemes[i].Monitor = m
+			}
+		}
+	}
+	return &Tuner{base: &base, schemes: schemes}
 }
 
 // AdoptScratch transplants the wrapped scheduler's scratch buffers from
@@ -265,9 +302,20 @@ func (t *Tuner) TuningRules() ([]invariant.TuningRule, bool) {
 	return rules, true
 }
 
-// Checkpoint implements sched.Adaptive.
+// Checkpoint implements sched.Adaptive. Threshold schemes walk their
+// tunable by ±Δ as Algorithm 1 specifies; a joint-proposal scheme (the
+// what-if planner) instead returns a complete (BF, W) pair, which is
+// applied atomically when the planner commits.
 func (t *Tuner) Checkpoint(env sched.Env, m sched.MetricsView) {
 	for _, s := range t.schemes {
+		if jp, ok := s.Monitor.(jointProposer); ok {
+			bf, w, commit := jp.Propose(env, m, t.base.BF, t.base.W, t.candidate)
+			if commit {
+				t.base.BF = bf
+				t.base.W = w
+			}
+			continue
+		}
 		dir := s.Monitor.Direction(env, m)
 		if dir == 0 {
 			continue

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWhatIfExperiment(t *testing.T) {
+	opt, dir := testOpts(t)
+	var buf bytes.Buffer
+	opt.Out = &buf
+	if err := WhatIf(opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"What-if tuning", "whatif:avg-wait", "whatif:blend", "threshold rules"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("whatif output missing %q", want)
+		}
+	}
+
+	recs := readCSV(t, filepath.Join(dir, "whatif_tuning.csv"))
+	if len(recs) != 5 { // header + easy + adaptive:2d + 2 whatif objectives
+		t.Fatalf("whatif rows = %d", len(recs))
+	}
+	for _, row := range recs[1:3] {
+		if row[5] != "-" {
+			t.Errorf("%s: non-planner policy has commits cell %q", row[0], row[5])
+		}
+	}
+	for _, row := range recs[3:] {
+		commits := row[5]
+		if !strings.Contains(commits, "/") {
+			t.Fatalf("%s: commits cell %q not commits/ticks", row[0], commits)
+		}
+		ticks, err := strconv.Atoi(commits[strings.Index(commits, "/")+1:])
+		if err != nil || ticks == 0 {
+			t.Errorf("%s: planner never ticked (%q)", row[0], commits)
+		}
+		if n, err := strconv.Atoi(row[6]); err != nil || n == 0 {
+			t.Errorf("%s: rollouts cell %q", row[0], row[6])
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"amjs/internal/sched"
 	"amjs/internal/sim"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 )
 
 // Config configures a Daemon.
@@ -426,6 +427,30 @@ func (d *Daemon) Machine() MachineStatus {
 	return st
 }
 
+// TunerStatus is the wire form of GET /v1/tuner: the adaptive policy's
+// current tunables, plus the what-if planner's status when the policy
+// carries one.
+type TunerStatus struct {
+	Policy string         `json:"policy"`
+	BF     *float64       `json:"balance_factor,omitempty"`
+	W      *int           `json:"window_size,omitempty"`
+	WhatIf *whatif.Status `json:"whatif,omitempty"`
+}
+
+// Tuner snapshots the hosted policy's adaptive state.
+func (d *Daemon) Tuner() TunerStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := TunerStatus{Policy: d.live.PolicyName()}
+	if bf, w, ok := d.live.Tunables(); ok {
+		st.BF, st.W = &bf, &w
+	}
+	if ws, ok := d.live.WhatIfStatus(); ok {
+		st.WhatIf = &ws
+	}
+	return st
+}
+
 // Drain processes every pending event, winding the session down to
 // quiescence — the batch-mode fast-forward. Staged ingest-lane
 // submissions are flushed first, so "submit a batch, then drain" never
@@ -464,6 +489,7 @@ type Snapshot struct {
 	Cancelled         int
 	Finished          int
 	Killed            int
+	WhatIf            *whatif.Status
 }
 
 // Stats samples the scrape-time gauges.
@@ -489,6 +515,9 @@ func (d *Daemon) Stats() Snapshot {
 	states := d.live.States()
 	s.Finished = states[job.Finished]
 	s.Killed = states[job.Killed]
+	if ws, ok := d.live.WhatIfStatus(); ok {
+		s.WhatIf = &ws
+	}
 	return s
 }
 

@@ -47,16 +47,29 @@ type eventHub struct {
 	nsubs     atomic.Int64 // fast-path emptiness check for the publisher
 	published atomic.Uint64
 	dropped   atomic.Uint64
+	filtered  atomic.Uint64
 }
 
-// subscriber is one feed connection's buffered view.
+// subscriber is one feed connection's buffered view. user and state,
+// when non-empty, restrict the feed to matching events: mismatches are
+// filtered before the ring enqueue, so a narrow subscription never
+// evicts the events it actually wants.
 type subscriber struct {
+	user  string
+	state string
+
 	mu      sync.Mutex
 	ring    []JobEvent
 	start   int // index of oldest buffered event
 	n       int // buffered count
 	dropped uint64
 	wake    chan struct{} // capacity 1
+}
+
+// wants reports whether the event passes the subscriber's filters.
+func (s *subscriber) wants(ev *JobEvent) bool {
+	return (s.user == "" || s.user == ev.User) &&
+		(s.state == "" || s.state == ev.State)
 }
 
 func newEventHub(ring int) *eventHub {
@@ -78,6 +91,10 @@ func (h *eventHub) publish(ev JobEvent) {
 	ev.Seq = h.seq
 	h.published.Add(1)
 	for s := range h.subs {
+		if !s.wants(&ev) {
+			h.filtered.Add(1)
+			continue
+		}
 		s.mu.Lock()
 		if s.n == len(s.ring) {
 			s.start = (s.start + 1) % len(s.ring)
@@ -96,11 +113,14 @@ func (h *eventHub) publish(ev JobEvent) {
 	h.mu.Unlock()
 }
 
-// subscribe registers a new ring-buffered subscriber.
-func (h *eventHub) subscribe() *subscriber {
+// subscribe registers a new ring-buffered subscriber. Empty filter
+// strings match everything.
+func (h *eventHub) subscribe(user, state string) *subscriber {
 	s := &subscriber{
-		ring: make([]JobEvent, h.ring),
-		wake: make(chan struct{}, 1),
+		user:  user,
+		state: state,
+		ring:  make([]JobEvent, h.ring),
+		wake:  make(chan struct{}, 1),
 	}
 	h.mu.Lock()
 	h.subs[s] = struct{}{}

@@ -6,8 +6,11 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"amjs/internal/machine"
 	"amjs/internal/sched"
@@ -18,7 +21,7 @@ import (
 // take and sequence numbers expose the gap.
 func TestEventHubDropOldest(t *testing.T) {
 	h := newEventHub(4)
-	s := h.subscribe()
+	s := h.subscribe("", "")
 	defer h.unsubscribe(s)
 	for i := 1; i <= 10; i++ {
 		h.publish(JobEvent{ID: i, State: "queued"})
@@ -48,7 +51,7 @@ func TestEventHubIdleFastPath(t *testing.T) {
 	if h.active() {
 		t.Fatal("fresh hub reports active")
 	}
-	s := h.subscribe()
+	s := h.subscribe("", "")
 	if !h.active() {
 		t.Fatal("subscribed hub reports idle")
 	}
@@ -151,5 +154,187 @@ func TestEventsFeed(t *testing.T) {
 		if got := strings.Join(byJob[id], ","); got != w {
 			t.Fatalf("job %d states %q, want %q", id, got, w)
 		}
+	}
+}
+
+// TestEventHubFilters: filters apply before the ring enqueue — a
+// narrow subscriber's ring holds only matching events, mismatches are
+// counted, and an unfiltered subscriber still sees everything.
+func TestEventHubFilters(t *testing.T) {
+	h := newEventHub(8)
+	all := h.subscribe("", "")
+	alice := h.subscribe("alice", "")
+	fin := h.subscribe("", "finished")
+	both := h.subscribe("alice", "finished")
+	defer func() {
+		for _, s := range []*subscriber{all, alice, fin, both} {
+			h.unsubscribe(s)
+		}
+	}()
+	h.publish(JobEvent{ID: 1, User: "alice", State: "queued"})
+	h.publish(JobEvent{ID: 1, User: "alice", State: "finished"})
+	h.publish(JobEvent{ID: 2, User: "bob", State: "finished"})
+	h.publish(JobEvent{ID: 3, User: "bob", State: "queued"})
+
+	out := make([]JobEvent, 8)
+	counts := map[*subscriber]int{all: 4, alice: 2, fin: 2, both: 1}
+	for s, want := range counts {
+		n, dropped := s.take(out)
+		if n != want || dropped != 0 {
+			t.Errorf("subscriber %v/%v: %d events (%d dropped), want %d",
+				s.user, s.state, n, dropped, want)
+		}
+	}
+	// 4 publishes × 4 subscribers = 16 offers; 9 delivered, 7 filtered.
+	if got := h.filtered.Load(); got != 7 {
+		t.Errorf("filtered counter %d, want 7", got)
+	}
+	if h.dropped.Load() != 0 {
+		t.Errorf("dropped counter %d, want 0", h.dropped.Load())
+	}
+}
+
+// TestEventsFeedFiltered drives ?user=/?state= through the HTTP layer:
+// the filtered subscriber receives exactly its user's lifecycle, and a
+// bad state name is rejected up front.
+func TestEventsFeedFiltered(t *testing.T) {
+	d, err := New(Config{
+		Machine:   machine.NewFlat(100),
+		Scheduler: sched.NewEASY(),
+		Speedup:   math.Inf(1),
+		Paranoid:  true,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	srv := httptest.NewServer(NewAPI(d))
+	t.Cleanup(srv.Close)
+
+	if resp, err := srv.Client().Get(srv.URL + "/v1/events?state=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad state filter: status %d, want 400", resp.StatusCode)
+		}
+	}
+
+	// User b's lifecycle is submitted,queued,running,finished → max=4.
+	resp, err := srv.Client().Get(srv.URL + "/v1/events?user=b&max=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	for !d.hub.active() {
+	}
+	for _, r := range d.SubmitBatch([]SubmitRequest{
+		{User: "a", Nodes: 100, WalltimeSec: 60, RuntimeSec: 60},
+		{User: "b", Nodes: 50, WalltimeSec: 60, RuntimeSec: 60},
+		{User: "a", Nodes: 10, WalltimeSec: 60, RuntimeSec: 60},
+	}) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if _, err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.User != "b" {
+			t.Fatalf("filtered feed leaked user %q: %+v", ev.User, ev)
+		}
+		states = append(states, ev.State)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(states, ","); got != "submitted,queued,running,finished" {
+		t.Fatalf("user-b lifecycle %q", got)
+	}
+	if d.hub.filtered.Load() == 0 {
+		t.Error("no events were filtered despite user a's activity")
+	}
+}
+
+// TestEventsFilterRace runs mixed filtered and unfiltered subscribers
+// against concurrent publishes — the regression net for the hub's
+// locking (run under -race). Each filtered subscriber must see only
+// matching events; the unfiltered one must see every publish.
+func TestEventsFilterRace(t *testing.T) {
+	h := newEventHub(4096)
+	specs := []struct{ user, state string }{
+		{"", ""}, {"u0", ""}, {"u1", ""}, {"", "finished"}, {"u0", "finished"},
+	}
+	subs := make([]*subscriber, len(specs))
+	for i, sp := range specs {
+		subs[i] = h.subscribe(sp.user, sp.state)
+	}
+	const (
+		publishers = 4
+		perPub     = 200
+	)
+	var wg sync.WaitGroup
+	results := make([][]JobEvent, len(subs))
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s *subscriber) {
+			defer wg.Done()
+			out := make([]JobEvent, 64)
+			for {
+				n, _ := s.take(out)
+				results[i] = append(results[i], out[:n]...)
+				done := h.published.Load() == uint64(publishers*perPub)
+				if n == 0 && done && func() bool {
+					s.mu.Lock()
+					defer s.mu.Unlock()
+					return s.n == 0
+				}() {
+					return
+				}
+				if n == 0 {
+					select {
+					case <-s.wake:
+					case <-time.After(time.Millisecond):
+					}
+				}
+			}
+		}(i, s)
+	}
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < perPub; k++ {
+				st := "queued"
+				if k%3 == 0 {
+					st = "finished"
+				}
+				h.publish(JobEvent{
+					ID:    p*perPub + k,
+					User:  "u" + strconv.Itoa(k%3),
+					State: st,
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	for i, s := range subs {
+		h.unsubscribe(s)
+		for _, ev := range results[i] {
+			if (s.user != "" && ev.User != s.user) || (s.state != "" && ev.State != s.state) {
+				t.Fatalf("subscriber %d (%q/%q) received %+v", i, s.user, s.state, ev)
+			}
+		}
+	}
+	if got := len(results[0]); got != publishers*perPub {
+		t.Errorf("unfiltered subscriber saw %d of %d events", got, publishers*perPub)
 	}
 }

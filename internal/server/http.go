@@ -51,6 +51,7 @@ func NewAPI(d *Daemon) *API {
 	a.handle("GET /v1/queue", "/v1/queue", a.getQueue)
 	a.handle("GET /v1/machine", "/v1/machine", a.getMachine)
 	a.handle("GET /v1/events", "/v1/events", a.getEvents)
+	a.handle("GET /v1/tuner", "/v1/tuner", a.getTuner)
 	a.handle("POST /v1/drain", "/v1/drain", a.drain)
 	a.handle("GET /metrics", "/metrics", a.metrics)
 	a.handle("GET /healthz", "/healthz", a.healthz)
@@ -360,6 +361,13 @@ func (a *API) getMachine(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.d.Machine())
 }
 
+// getTuner serves GET /v1/tuner: the adaptive-policy snapshot — current
+// tunables plus, for a what-if policy, the planner's counters and
+// decision log.
+func (a *API) getTuner(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.d.Tuner())
+}
+
 // appendEvent hand-encodes one NDJSON feed line (field order matches
 // the JobEvent struct tags).
 func appendEvent(buf *bytes.Buffer, ev *JobEvent) {
@@ -379,10 +387,19 @@ func appendEvent(buf *bytes.Buffer, ev *JobEvent) {
 	buf.WriteString("}\n")
 }
 
+// validEventStates are the ?state= filter values getEvents accepts —
+// exactly the names job.State renders into the feed.
+var validEventStates = map[string]bool{
+	"submitted": true, "queued": true, "running": true,
+	"finished": true, "killed": true, "cancelled": true,
+}
+
 // getEvents serves GET /v1/events: the NDJSON job-event feed. The
 // response streams until the client disconnects (or, with ?max=N, after
-// N events — the snapshot mode tests and one-shot consumers use). See
-// events.go for the ordering and slow-consumer drop semantics.
+// N events — the snapshot mode tests and one-shot consumers use).
+// ?user=NAME and ?state=NAME narrow the subscription; mismatching
+// events are filtered before they ever reach this subscriber's ring
+// (see events.go), so a filtered feed's ring holds only wanted events.
 func (a *API) getEvents(w http.ResponseWriter, r *http.Request) {
 	var max, total int
 	if s := r.URL.Query().Get("max"); s != "" {
@@ -393,8 +410,13 @@ func (a *API) getEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		max = n
 	}
+	state := r.URL.Query().Get("state")
+	if state != "" && !validEventStates[state] {
+		writeError(w, http.StatusBadRequest, "bad state %q", state)
+		return
+	}
 	rc := http.NewResponseController(w)
-	sub := a.d.hub.subscribe()
+	sub := a.d.hub.subscribe(r.URL.Query().Get("user"), state)
 	defer a.d.hub.unsubscribe(sub)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -483,8 +505,37 @@ func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
 		"Job events offered to /v1/events subscribers.", hub.published.Load())
 	writeCounter(w, "amjsd_events_dropped_total",
 		"Events lost to slow consumers (ring-buffer evictions).", hub.dropped.Load())
+	writeCounter(w, "amjsd_events_filtered_total",
+		"Events withheld from subscribers by ?user=/?state= filters.", hub.filtered.Load())
 	writeGauges(w, []gauge{{"amjsd_events_subscribers",
 		"Open /v1/events connections.", float64(hub.nsubs.Load())}})
+
+	// What-if planner instrumentation, present only under a what-if
+	// policy.
+	if ws := s.WhatIf; ws != nil {
+		writeCounter(w, "amjsd_whatif_ticks_total",
+			"Checkpoints at which the what-if planner ran.", ws.Ticks)
+		writeCounter(w, "amjsd_whatif_candidates_evaluated_total",
+			"Candidate rollouts scored by the what-if planner.", ws.Evaluated)
+		writeCounter(w, "amjsd_whatif_commits_total",
+			"What-if decisions committed to the live tunables.", ws.Commits)
+		writeCounter(w, "amjsd_whatif_skipped_total",
+			"What-if ticks skipped (empty queue, no capability, or no valid rollout).", ws.Skipped)
+		writeGauges(w, []gauge{{"amjsd_whatif_last_objective_delta",
+			"Objective improvement of the last evaluated tick (incumbent minus best).",
+			ws.LastDelta}})
+		fmt.Fprintf(w, "# HELP amjsd_whatif_rollout_seconds Wall-clock cost of one what-if tick's rollouts.\n"+
+			"# TYPE amjsd_whatif_rollout_seconds histogram\n")
+		for _, b := range ws.LatBuckets {
+			le := "+Inf"
+			if b.LE >= 0 {
+				le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "amjsd_whatif_rollout_seconds_bucket{le=\"%s\"} %d\n", le, b.N)
+		}
+		fmt.Fprintf(w, "amjsd_whatif_rollout_seconds_sum %g\n", ws.LatSumSec)
+		fmt.Fprintf(w, "amjsd_whatif_rollout_seconds_count %d\n", ws.LatCount)
+	}
 	fmt.Fprintf(w, "# HELP amjsd_ingest_shard_depth Staged submissions per ingest shard.\n"+
 		"# TYPE amjsd_ingest_shard_depth gauge\n")
 	for i, depth := range ln.depths(make([]int, 0, len(ln.shards))) {

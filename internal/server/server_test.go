@@ -20,6 +20,7 @@ import (
 	"amjs/internal/sched"
 	"amjs/internal/sim"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -457,5 +458,159 @@ func TestDaemonWallClock(t *testing.T) {
 			t.Fatalf("job still %q after 10s of wall time at speedup 3600", g.State)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// GET /v1/tuner exposes the adaptive-policy snapshot. For a what-if
+// daemon the payload carries the planner status — counters, objective,
+// and the committed decision log — and /metrics exports the matching
+// instrument family.
+func TestTunerEndpoint(t *testing.T) {
+	// A contended 512-node trace so lookahead rollouts actually
+	// diverge and the planner commits at least one retune.
+	cfg := workload.Intrepid(7)
+	cfg.Name = "tuner-http-512"
+	cfg.MachineNodes = 512
+	cfg.Sizes = []workload.SizeWeight{
+		{Nodes: 32, Weight: 0.3}, {Nodes: 64, Weight: 0.3}, {Nodes: 128, Weight: 0.2},
+		{Nodes: 256, Weight: 0.15}, {Nodes: 512, Weight: 0.05},
+	}
+	cfg.Arrival.MeanInterarrival = 5 * units.Minute
+	cfg.Runtime.MedianSeconds = 1200
+	cfg.Runtime.Max = 4 * units.Hour
+	cfg.MaxJobs = 100
+	jobs, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := New(Config{
+		Machine: machine.NewFlat(512),
+		Scheduler: core.NewTuner(core.WhatIf(whatif.NewPlanner(whatif.Config{
+			Horizon: units.Hour,
+			BFGrid:  []float64{0.5, 1},
+			WGrid:   []int{1, 2},
+			Workers: 1,
+		}))),
+		Speedup:  math.Inf(1),
+		Paranoid: true,
+		Logger:   quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(NewAPI(d))
+	defer srv.Close()
+	client := srv.Client()
+
+	for _, j := range jobs {
+		submit := int64(j.Submit)
+		if code := postJSON(t, client, srv.URL+"/v1/jobs", SubmitRequest{
+			User: j.User, Nodes: j.Nodes,
+			WalltimeSec: int64(j.Walltime), RuntimeSec: int64(j.Runtime),
+			SubmitSec: &submit,
+		}, nil); code != http.StatusCreated {
+			t.Fatalf("submit: status %d", code)
+		}
+	}
+	if code := postJSON(t, client, srv.URL+"/v1/drain", struct{}{}, nil); code != http.StatusOK {
+		t.Fatal("drain failed")
+	}
+
+	var ts TunerStatus
+	if code := getJSON(t, client, srv.URL+"/v1/tuner", &ts); code != http.StatusOK {
+		t.Fatalf("tuner: status %d", code)
+	}
+	if ts.Policy != "adaptive(whatif)" {
+		t.Errorf("policy = %q, want adaptive(whatif)", ts.Policy)
+	}
+	if ts.BF == nil || ts.W == nil {
+		t.Fatalf("tuner snapshot missing tunables: %+v", ts)
+	}
+	ws := ts.WhatIf
+	if ws == nil {
+		t.Fatal("tuner snapshot missing what-if status")
+	}
+	if ws.Ticks == 0 || ws.Evaluated == 0 {
+		t.Errorf("planner never ran: ticks=%d evaluated=%d", ws.Ticks, ws.Evaluated)
+	}
+	if ws.Commits == 0 || len(ws.Decisions) == 0 {
+		t.Errorf("contended trace produced no commits: commits=%d decisions=%d",
+			ws.Commits, len(ws.Decisions))
+	}
+	// The last committed decision is the live pair.
+	last := ws.Decisions[len(ws.Decisions)-1]
+	if last.Committed && (*ts.BF != last.BF || *ts.W != last.W) {
+		t.Errorf("live tunables (%g,%d) disagree with last commit (%g,%d)",
+			*ts.BF, *ts.W, last.BF, last.W)
+	}
+
+	// Wire names: the JSON payload uses the documented field names.
+	raw := map[string]json.RawMessage{}
+	if code := getJSON(t, client, srv.URL+"/v1/tuner", &raw); code != http.StatusOK {
+		t.Fatalf("tuner: status %d", code)
+	}
+	for _, field := range []string{"policy", "balance_factor", "window_size", "whatif"} {
+		if _, ok := raw[field]; !ok {
+			t.Errorf("tuner payload missing %q: %v", field, raw)
+		}
+	}
+
+	// The what-if instrument family rides the Prometheus exposition.
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE amjsd_whatif_ticks_total counter",
+		"amjsd_whatif_candidates_evaluated_total",
+		"amjsd_whatif_commits_total",
+		"amjsd_whatif_skipped_total",
+		"amjsd_whatif_last_objective_delta",
+		"# TYPE amjsd_whatif_rollout_seconds histogram",
+		`amjsd_whatif_rollout_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// A daemon without an adaptive policy still serves /v1/tuner: the
+// policy name with no tunables and no what-if block.
+func TestTunerEndpointStaticPolicy(t *testing.T) {
+	d, err := New(Config{
+		Machine:   machine.NewFlat(64),
+		Scheduler: sched.NewEASY(),
+		Speedup:   math.Inf(1),
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(NewAPI(d))
+	defer srv.Close()
+
+	var ts TunerStatus
+	if code := getJSON(t, srv.Client(), srv.URL+"/v1/tuner", &ts); code != http.StatusOK {
+		t.Fatalf("tuner: status %d", code)
+	}
+	if ts.Policy == "" || ts.BF != nil || ts.W != nil || ts.WhatIf != nil {
+		t.Errorf("static-policy tuner snapshot = %+v", ts)
+	}
+	// No what-if instruments without a planner.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "amjsd_whatif_") {
+		t.Error("static policy exposes what-if metrics")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"amjs/internal/machine"
 	"amjs/internal/sched"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -36,8 +37,8 @@ func diffTrace(t *testing.T, seed int64, n int) []*job.Job {
 	return jobs
 }
 
-// TestDifferentialThreeWay sweeps a 3-machine × 6-policy × 4-mode grid
-// (72 seeded configs) and demands that the batch, streaming, and live
+// TestDifferentialThreeWay sweeps a 3-machine × 7-policy × 4-mode grid
+// (84 seeded configs) and demands that the batch, streaming, and live
 // engines produce identical schedules under the full validity oracle:
 // byte-identical event traces, the same per-job starts and final
 // states, and the same reported metrics. Fairness seeds additionally
@@ -64,6 +65,12 @@ func TestDifferentialThreeWay(t *testing.T) {
 		{"sjf", func() sched.Scheduler { return sched.NewSJF() }},
 		{"easy", func() sched.Scheduler { return sched.NewEASY() }},
 		{"conservative", func() sched.Scheduler { return sched.NewConservative() }},
+		// The what-if tuner replays nested rollouts at every checkpoint,
+		// so this row pins both the schedule agreement AND the decision
+		// log across engines (see runDifferential's WhatIf leg).
+		{"whatif", func() sched.Scheduler {
+			return core.NewTuner(core.WhatIf(testPlanner(whatif.Config{})))
+		}},
 	}
 	modes := []struct {
 		name   string
@@ -135,6 +142,7 @@ func runDifferential(t *testing.T, cfg Config, jobs []*job.Job, fair bool) {
 	if !bytes.Equal(streamTrace.Bytes(), batchTrace.Bytes()) {
 		t.Error("streamed event trace differs from batch trace")
 	}
+	compareWhatIf(t, "stream", got.WhatIf, want.WhatIf)
 
 	liveCfg := cfg
 	liveCfg.Trace = &liveTrace
@@ -179,6 +187,11 @@ func runDifferential(t *testing.T, cfg Config, jobs []*job.Job, fair bool) {
 	if !bytes.Equal(liveTrace.Bytes(), batchTrace.Bytes()) {
 		t.Error("live event trace differs from batch trace")
 	}
+	if lst, ok := l.WhatIfStatus(); ok {
+		compareWhatIf(t, "live", &lst, want.WhatIf)
+	} else if want.WhatIf != nil {
+		t.Error("batch run reports a what-if status, live session does not")
+	}
 
 	if !fair {
 		return
@@ -210,6 +223,38 @@ func runDifferential(t *testing.T, cfg Config, jobs []*job.Job, fair bool) {
 			if g, ok := ref.FairStarts[id]; !ok || g != w {
 				t.Fatalf("job %d: %s fair start %v, incremental %v", id, o.name, g, w)
 			}
+		}
+	}
+}
+
+// compareWhatIf demands two engines reached identical what-if planner
+// states: same counters and the same decision log, field by field.
+// WallNS is machine timing — the one field legitimately different
+// between engines — so it is excluded.
+func compareWhatIf(t *testing.T, label string, got, want *whatif.Status) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Errorf("%s what-if status presence %v, batch %v", label, got != nil, want != nil)
+		return
+	}
+	if want == nil {
+		return
+	}
+	if got.Ticks != want.Ticks || got.Evaluated != want.Evaluated ||
+		got.Commits != want.Commits || got.Skipped != want.Skipped {
+		t.Errorf("%s what-if counters ticks=%d eval=%d commits=%d skips=%d, batch ticks=%d eval=%d commits=%d skips=%d",
+			label, got.Ticks, got.Evaluated, got.Commits, got.Skipped,
+			want.Ticks, want.Evaluated, want.Commits, want.Skipped)
+	}
+	if len(got.Decisions) != len(want.Decisions) {
+		t.Errorf("%s what-if logged %d decisions, batch %d", label, len(got.Decisions), len(want.Decisions))
+		return
+	}
+	for i, w := range want.Decisions {
+		g := got.Decisions[i]
+		g.WallNS, w.WallNS = 0, 0
+		if g != w {
+			t.Errorf("%s what-if decision %d: %+v, batch %+v", label, i, g, w)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"amjs/internal/machine"
 	"amjs/internal/sched"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -47,6 +48,18 @@ func fuzzConfig(h [5]byte) Config {
 		cfg.SchedulePeriod = 30 * units.Second
 	}
 	cfg.Fairness = h[3]&1 == 1
+	// Bit 1 of the flags byte swaps in the what-if tuner (a previously
+	// unused bit, so no older corpus entry is remapped): every retune
+	// tick then forks rollout engines under whatever cadence and
+	// checkpoint grid the fuzzer picked.
+	if h[3]&2 == 2 {
+		cfg.Scheduler = core.NewTuner(core.WhatIf(whatif.NewPlanner(whatif.Config{
+			Horizon: units.Hour,
+			BFGrid:  []float64{0.5, 1},
+			WGrid:   []int{1, 2},
+			Workers: 1,
+		})))
+	}
 	cfg.CheckInterval = units.Duration(5+15*int64(h[4]%3)) * units.Minute
 	return cfg
 }
@@ -90,6 +103,11 @@ func FuzzSchedule(f *testing.F) {
 	f.Add([]byte("\x01\x00\x00\x01\x00" + "\x00\x0f\x04\x00" + "\xc8\x0f\x04\x00" + "\xc8\x1f\x06\x00" + "\xc8\x0f\x04\x00"))
 	f.Add([]byte("\x00\x04\x00\x01\x01" + "\x00\xff\x20\x01" + "\x00\x7f\x10\x01" + "\x01\xff\x08\x00" + "\x01\x3f\x30\x01" + "\x00\x1f\x04\x00"))
 	f.Add([]byte("\x02\x01\x00\x01\x02" + "\x00\x1f\x04\x00" + "\xc8\x1f\x04\x00" + "\xc8\xff\x30\x01" + "\x00\x7f\x08\x00" + "\x00\x3f\x20\x01" + "\x01\x1f\x02\x00"))
+	// What-if tuner seeds (flags bit 1): retune ticks fork rollout
+	// engines in event mode and under a periodic cadence, with a
+	// contended burst so the planner has a queue to repack.
+	f.Add([]byte("\x00\x00\x00\x02\x00" + "\x00\xff\x20\x01" + "\x00\x7f\x10\x01" + "\x01\x3f\x30\x01" + "\x00\x1f\x04\x00"))
+	f.Add([]byte("\x01\x00\x01\x02\x01" + "\x00\xff\x30\x02" + "\x00\x7f\x08\x00" + "\x14\x3f\x40\x03" + "\x00\x0f\x02\x00"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 5 {
@@ -100,6 +118,8 @@ func FuzzSchedule(f *testing.F) {
 		maxJobs := 48
 		if h[3]&1 == 1 {
 			maxJobs = 20 // the fairness oracle nests a sim per submission
+		} else if h[3]&2 == 2 {
+			maxJobs = 24 // the what-if planner nests a sim grid per checkpoint
 		}
 		jobs := fuzzJobs(data[5:], maxJobs)
 		if len(jobs) == 0 {

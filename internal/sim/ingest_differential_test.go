@@ -20,6 +20,7 @@ import (
 	"amjs/internal/server"
 	"amjs/internal/sim"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 	"amjs/internal/workload"
 )
 
@@ -59,6 +60,18 @@ func TestIngestDifferential(t *testing.T) {
 		{"metricaware", func() sched.Scheduler { return core.NewMetricAware(0.5, 3) }},
 		{"tuner", func() sched.Scheduler {
 			return core.NewTuner(core.PaperBFScheme(30), core.PaperWScheme())
+		}},
+		// The what-if policy additionally pins the planner's decision
+		// log: daemon-side lookahead at speedup=∞ must reach the exact
+		// decisions the batch engine reached.
+		{"whatif", func() sched.Scheduler {
+			return core.NewTuner(core.WhatIf(whatif.NewPlanner(whatif.Config{
+				Horizon: units.Hour,
+				BFGrid:  []float64{0.5, 1},
+				WGrid:   []int{1, 2},
+				Workers: 1,
+				LogCap:  1024,
+			})))
 		}},
 	}
 	modes := []struct {
@@ -159,6 +172,30 @@ func TestIngestDifferential(t *testing.T) {
 					}
 					if !bytes.Equal(laneTrace.Bytes(), batchTrace.Bytes()) {
 						t.Error("ingest-lane event trace differs from batch trace")
+					}
+					if want.WhatIf != nil {
+						ts := d.Tuner()
+						if ts.WhatIf == nil {
+							t.Fatal("batch run has a what-if status, daemon /v1/tuner does not")
+						}
+						got, exp := ts.WhatIf, want.WhatIf
+						if got.Ticks != exp.Ticks || got.Evaluated != exp.Evaluated ||
+							got.Commits != exp.Commits || got.Skipped != exp.Skipped {
+							t.Errorf("daemon what-if counters ticks=%d eval=%d commits=%d skips=%d, batch ticks=%d eval=%d commits=%d skips=%d",
+								got.Ticks, got.Evaluated, got.Commits, got.Skipped,
+								exp.Ticks, exp.Evaluated, exp.Commits, exp.Skipped)
+						}
+						if len(got.Decisions) != len(exp.Decisions) {
+							t.Fatalf("daemon logged %d decisions, batch %d",
+								len(got.Decisions), len(exp.Decisions))
+						}
+						for i, w := range exp.Decisions {
+							g := got.Decisions[i]
+							g.WallNS, w.WallNS = 0, 0 // machine timing differs
+							if g != w {
+								t.Errorf("decision %d: daemon %+v, batch %+v", i, g, w)
+							}
+						}
 					}
 				})
 			}

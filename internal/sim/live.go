@@ -21,6 +21,7 @@ import (
 	"amjs/internal/machine"
 	"amjs/internal/metrics"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 )
 
 // ErrRejected marks a submission whose node request can never be
@@ -258,6 +259,17 @@ func (l *Live) QueueDepthMinutes() float64 {
 func (l *Live) Tunables() (bf float64, w int, ok bool) {
 	bf, w, ok = l.e.tunables()
 	return
+}
+
+// WhatIfStatus snapshots the hosted scheduler's what-if planner, when
+// the policy carries one. Note NewLive clones the configured scheduler,
+// so this — not the caller's original planner — is where the session's
+// decisions accrue.
+func (l *Live) WhatIfStatus() (whatif.Status, bool) {
+	if st := l.e.whatIfStatus(); st != nil {
+		return *st, true
+	}
+	return whatif.Status{}, false
 }
 
 // PredictStart estimates when a job will start. For a started job it is

@@ -19,6 +19,7 @@ import (
 	"amjs/internal/metrics"
 	"amjs/internal/sched"
 	"amjs/internal/units"
+	"amjs/internal/whatif"
 )
 
 // Event kinds, ordered so that simultaneous events resolve as:
@@ -129,6 +130,21 @@ type Result struct {
 	// available from a sink-driven RunStream, which retains neither.
 	AcceptedCount int
 	RejectedCount int
+
+	// WhatIf is the what-if planner's final status (decision log,
+	// counters) when the policy hosted one; nil otherwise.
+	WhatIf *whatif.Status
+}
+
+// whatIfStatus snapshots the engine scheduler's what-if planner, when
+// the policy hosts one (see whatif.Reporter).
+func (e *engine) whatIfStatus() *whatif.Status {
+	if r, ok := e.scheduler.(whatif.Reporter); ok {
+		if st, ok := r.WhatIfStatus(); ok {
+			return &st
+		}
+	}
+	return nil
 }
 
 // Run simulates the workload under the configuration. The input jobs
@@ -221,6 +237,7 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		FairStarts:    e.fairStarts,
 		AcceptedCount: len(accepted),
 		RejectedCount: len(rejected),
+		WhatIf:        e.whatIfStatus(),
 	}
 	if len(accepted) > 0 {
 		firstSubmit, lastEnd := accepted[0].Submit, accepted[0].End
@@ -331,8 +348,13 @@ type engine struct {
 	arena    []job.Job  // clone storage for one oracle run
 	orderBuf []*job.Job // deterministic ordering of the running set
 	tclones  []*job.Job // clones of the oracle batch's target jobs
-}
 
+	// What-if lookahead scratch (see whatif.go): one private fork per
+	// candidate slot, reused across checkpoints, plus the rollout
+	// result buffer handed to the planner.
+	laForks []*lookaheadFork
+	laOut   []sched.Rollout
+}
 
 // pendingBatch is one arrival instant's deferred fair-start batch: the
 // jobs that arrived at instant t and still await their fair start.

@@ -127,6 +127,7 @@ func RunStream(cfg Config, src JobSource, sink func(*job.Job)) (*Result, error) 
 		FairStarts:    e.fairStarts,
 		AcceptedCount: st.accepted,
 		RejectedCount: st.rejected,
+		WhatIf:        e.whatIfStatus(),
 	}
 	if st.accepted > 0 {
 		res.Makespan = st.lastEnd.Sub(st.firstSubmit)

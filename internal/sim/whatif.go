@@ -1,0 +1,246 @@
+// What-if lookahead rollouts: the engine forks its live state — machine
+// occupancy, running set, queue, scheduling grids — into per-candidate
+// closed worlds and simulates each one a short horizon into the future,
+// so the adaptive tuner can score candidate (BF, W) settings on
+// simulated outcomes instead of threshold rules. The fork mechanics
+// mirror the fairness oracle's seedWorld (CloneMachineInto arenas,
+// scheduler clones with AdoptScratch recycling, ID-sorted end-event
+// seeding), but each fork owns its scratch outright so rollouts fan out
+// across cores without sharing.
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"amjs/internal/job"
+	"amjs/internal/machine"
+	"amjs/internal/parallel"
+	"amjs/internal/sched"
+	"amjs/internal/units"
+)
+
+// bsldTau is the bounded-slowdown runtime floor (the conventional 10
+// minutes): BSLD = max(1, (wait + runtime) / max(runtime, tau)).
+const bsldTau = 10 * units.Minute
+
+// Lookahead implements sched.Lookaheader: one rollout per candidate, in
+// input order, each in a private fork of the current engine state. It
+// is called from inside an adaptive checkpoint (sched.Adaptive), where
+// the tick and checkpoint grids still hold their firing instants — the
+// forks re-enter the exact grid continuation, including the pass the
+// main engine is about to run. Nested engines refuse: a rollout that
+// spawned rollouts would recurse without bound.
+//
+// Forks read the live engine (machine, running set, queue) and write
+// only their own clones, so the main engine's observable state — and
+// therefore the schedule — is byte-identical with and without
+// lookahead. The Paranoid differential suite pins that.
+func (e *engine) Lookahead(cands []sched.Scheduler, horizon units.Duration, workers int, budget time.Duration) ([]sched.Rollout, bool) {
+	if e.sub || horizon <= 0 || len(cands) == 0 {
+		return nil, false
+	}
+	for len(e.laForks) < len(cands) {
+		e.laForks = append(e.laForks, &lookaheadFork{})
+	}
+	if cap(e.laOut) < len(cands) {
+		e.laOut = make([]sched.Rollout, len(cands))
+	}
+	out := e.laOut[:len(cands)]
+	for i := range out {
+		out[i] = sched.Rollout{}
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	run := func(i int) {
+		// The first candidate (the caller's incumbent) always runs, so
+		// the planner keeps a baseline even under an exhausted budget.
+		if i > 0 && budget > 0 && time.Now().After(deadline) {
+			return // out[i] stays Valid=false
+		}
+		out[i] = e.laForks[i].rollout(e, cands[i], horizon)
+	}
+	if workers <= 1 || len(cands) == 1 {
+		for i := range cands {
+			run(i)
+		}
+	} else {
+		_ = parallel.ForEach(len(cands), workers, func(i int) error {
+			run(i)
+			return nil
+		})
+	}
+	return out, true
+}
+
+// lookaheadFork is one candidate slot's private rollout scratch: a
+// nested engine, a job-clone arena, ordering buffers, and the previous
+// tick's candidate scheduler (kept only as a scratch-buffer donor for
+// the next one). Slots are reused across checkpoints, so a steady
+// what-if cadence allocates almost nothing after warm-up.
+type lookaheadFork struct {
+	sub       *engine
+	arena     []job.Job
+	order     []*job.Job
+	prevSched sched.Scheduler
+}
+
+// rollout forks the live engine state under cand and simulates it for
+// horizon, accumulating the outcome sums the planner scores. It only
+// reads from e (safe concurrently with the other forks) and writes
+// exclusively to the fork's own clones.
+func (f *lookaheadFork) rollout(e *engine, cand sched.Scheduler, horizon units.Duration) (r sched.Rollout) {
+	sub := f.sub
+	if sub == nil {
+		sub = &engine{
+			running: make(map[*job.Job]machine.Alloc),
+			sub:     true,
+		}
+		f.sub = sub
+	}
+	sub.cfg = e.cfg
+	sub.cfg.Trace = nil // forks never touch the trace path
+	sub.now = e.now
+	sub.machine = machine.CloneMachineInto(e.machine, sub.machine)
+	sub.scheduler = cand
+	if ad, ok := cand.(scratchAdopter); ok && f.prevSched != nil {
+		ad.AdoptScratch(f.prevSched)
+	}
+	f.prevSched = cand
+	sub.collector = e.collector // read-only use; never written in sub runs
+	sub.events.Reset()
+	sub.queue.reset()
+	clear(sub.running)
+	sub.dirty = true
+	sub.lastDelta = false
+	sub.lastQuiet = false
+	sub.processed = 0
+
+	// Clone the live jobs into the fork's arena, queue first (the queue
+	// view and the running set are disjoint). Sized up front so the
+	// pointers handed to the sub-engine stay valid as it fills.
+	queueView := e.queue.jobs()
+	qn := len(queueView)
+	n := qn + len(e.running)
+	if cap(f.arena) < n {
+		f.arena = make([]job.Job, 0, n+n/2+8)
+	}
+	arena := f.arena[:0]
+	for _, j := range queueView {
+		arena = append(arena, *j)
+		sub.queue.push(&arena[len(arena)-1])
+	}
+
+	// Seed the running jobs' end events in ID order, as seedWorld does:
+	// the heap breaks same-instant ties by insertion sequence, so a
+	// deterministic order keeps rollouts reproducible.
+	f.order = f.order[:0]
+	for j := range e.running {
+		f.order = append(f.order, j)
+	}
+	sort.Slice(f.order, func(i, k int) bool { return f.order[i].ID < f.order[k].ID })
+	for _, j := range f.order {
+		arena = append(arena, *j)
+		c := &arena[len(arena)-1]
+		sub.running[c] = e.running[j] // machine clone preserves allocation handles
+		effective := c.Runtime
+		if effective > c.Walltime {
+			effective = c.Walltime
+		}
+		sub.events.Push(c.Start.Add(effective), evEnd, c)
+	}
+	f.arena = arena
+
+	// Re-enter the scheduling grids exactly where the main engine holds
+	// them: Lookahead runs inside the checkpoint block, before the grids
+	// re-arm, so nextCheck is the firing instant (now) and the fork runs
+	// the checkpoint-forced pass the main engine is about to run — under
+	// the candidate tunables. In event mode the fork seeds the one-shot
+	// zero-period tick (see seedGrids) so the closed world passes at the
+	// fork instant.
+	if e.cfg.SchedulePeriod > 0 {
+		sub.events.Push(e.nextTick, evTick, nil)
+		sub.nextTick = e.nextTick
+		sub.events.Push(e.nextCheck, evCheckpoint, nil)
+		sub.nextCheck = e.nextCheck
+	} else {
+		sub.events.Push(e.now, evTick, nil)
+	}
+
+	// Drive the fork to the horizon, integrating busy nodes over each
+	// advance of its clock. Events beyond the horizon stay unprocessed:
+	// the rollout scores the horizon window, nothing more.
+	end := e.now.Add(horizon)
+	r.Horizon = horizon
+	r.TotalNodes = e.machine.TotalNodes()
+	var util float64
+	for {
+		it, ok := sub.events.Peek()
+		if !ok || it.Time > end {
+			break
+		}
+		busy := sub.machine.BusyNodes()
+		prev := sub.now
+		ok, err := sub.step()
+		if err != nil {
+			return r // Valid stays false
+		}
+		if sub.now > prev {
+			util += float64(busy) * float64(sub.now.Sub(prev))
+		}
+		if !ok {
+			break
+		}
+	}
+	if sub.now < end {
+		util += float64(sub.machine.BusyNodes()) * float64(end.Sub(sub.now))
+	}
+	r.UtilNodeSec = util
+
+	// Score the fork-queued population (the first qn arena entries):
+	// started jobs contribute their realized wait, stranded ones their
+	// wait truncated at the horizon. Completions count started and
+	// pre-running jobs alike.
+	for i := range arena {
+		c := &arena[i]
+		done := c.State == job.Finished || c.State == job.Killed
+		if done && c.End > e.now && c.End <= end {
+			r.Completed++
+		}
+		if i >= qn {
+			continue
+		}
+		if c.State == job.Running || done {
+			r.Started++
+			wait := c.Start.Sub(c.Submit)
+			r.WaitSum += wait
+			effective := c.Runtime
+			if effective > c.Walltime {
+				effective = c.Walltime
+			}
+			r.BSLDSum += boundedSlowdown(wait, effective)
+		} else {
+			r.LeftQueued++
+			wait := end.Sub(c.Submit)
+			r.WaitSum += wait
+			r.BSLDSum += boundedSlowdown(wait, c.Walltime)
+		}
+	}
+	r.Valid = true
+	return r
+}
+
+// boundedSlowdown is the classic BSLD with the 10-minute runtime floor.
+func boundedSlowdown(wait, runtime units.Duration) float64 {
+	denom := runtime
+	if denom < bsldTau {
+		denom = bsldTau
+	}
+	s := float64(wait+runtime) / float64(denom)
+	if s < 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"amjs/internal/core"
+	"amjs/internal/machine"
+	"amjs/internal/units"
+	"amjs/internal/whatif"
+)
+
+// testPlanner is the suite's standard what-if configuration: a small
+// grid and a short horizon keep the rollout cost test-sized, zero
+// budget keeps every decision deterministic, and a large log cap keeps
+// the full decision history for cross-engine comparison.
+func testPlanner(cfg whatif.Config) *whatif.Planner {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = units.Hour
+	}
+	if cfg.BFGrid == nil {
+		cfg.BFGrid = []float64{0.5, 1}
+	}
+	if cfg.WGrid == nil {
+		cfg.WGrid = []int{1, 2}
+	}
+	if cfg.LogCap == 0 {
+		cfg.LogCap = 1024
+	}
+	cfg.Workers = 1
+	return whatif.NewPlanner(cfg)
+}
+
+// TestWhatIfCommitsDecisions runs the pure what-if tuner over a
+// contended trace and demands the planner actually steered: rollouts
+// ran, decisions were logged, and at least one was committed. Paranoid
+// arms the full validity oracle over the whole run.
+func TestWhatIfCommitsDecisions(t *testing.T) {
+	jobs := diffTrace(t, 7, 120)
+	res, err := Run(Config{
+		Machine:   machine.NewFlat(512),
+		Scheduler: core.NewTuner(core.WhatIf(testPlanner(whatif.Config{}))),
+		Paranoid:  true,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.WhatIf
+	if st == nil {
+		t.Fatal("Result.WhatIf is nil for a what-if policy")
+	}
+	if st.Ticks == 0 || st.Evaluated == 0 {
+		t.Fatalf("planner never ran: %d ticks, %d candidates evaluated", st.Ticks, st.Evaluated)
+	}
+	if len(st.Decisions) == 0 {
+		t.Fatal("no decisions logged")
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no committed decisions across %d ticks on a contended trace", st.Ticks)
+	}
+	committed := 0
+	for _, d := range st.Decisions {
+		if d.Committed {
+			committed++
+			if d.BF == d.PrevBF && d.W == d.PrevW {
+				t.Errorf("committed decision at t=%v changes nothing: (%g,%d)", d.At, d.BF, d.W)
+			}
+		}
+	}
+	if uint64(committed) != st.Commits {
+		t.Errorf("commit counter %d, but %d committed decisions in the log", st.Commits, committed)
+	}
+	if res.Policy != "adaptive(whatif)" {
+		t.Errorf("policy name %q", res.Policy)
+	}
+}
+
+// TestWhatIfShadowNoLeak is the fork-isolation pin: a shadow (observe
+// mode) what-if planner riding next to each of the paper's two
+// threshold schemes must leave the schedule byte-identical to the
+// threshold scheme alone — across machines, engine cadences, and the
+// fairness oracle, Paranoid-armed throughout. The planner provably ran
+// (ticks and evaluations accrue), so any leak from a rollout fork into
+// the main engine would surface as a trace diff.
+func TestWhatIfShadowNoLeak(t *testing.T) {
+	schemes := []struct {
+		name string
+		mk   func() core.Scheme
+	}{
+		{"bf", func() core.Scheme { return core.PaperBFScheme(30) }},
+		{"w", func() core.Scheme { return core.PaperWScheme() }},
+	}
+	grids := []struct {
+		name   string
+		mk     func() machine.Machine
+		period units.Duration
+		fair   bool
+		jobs   int
+	}{
+		{"flat/event", func() machine.Machine { return machine.NewFlat(512) }, 0, false, 80},
+		{"flat/periodic", func() machine.Machine { return machine.NewFlat(512) }, 10 * units.Second, false, 80},
+		{"flat/fair", func() machine.Machine { return machine.NewFlat(512) }, 0, true, 36},
+		{"partition/event", func() machine.Machine { return machine.NewPartition(8, 64) }, 0, false, 80},
+		{"partition/fairp", func() machine.Machine { return machine.NewPartition(8, 64) }, 10 * units.Second, true, 30},
+	}
+	seed := int64(100)
+	for _, sc := range schemes {
+		for _, g := range grids {
+			seed++
+			s := seed
+			t.Run(fmt.Sprintf("%s/%s", sc.name, g.name), func(t *testing.T) {
+				t.Parallel()
+				jobs := diffTrace(t, s, g.jobs)
+				base := Config{
+					Machine:        g.mk(),
+					Scheduler:      core.NewTuner(sc.mk()),
+					SchedulePeriod: g.period,
+					Fairness:       g.fair,
+					Paranoid:       true,
+				}
+				var refTrace, shadowTrace bytes.Buffer
+				refCfg := base
+				refCfg.Trace = &refTrace
+				ref, err := Run(refCfg, jobs)
+				if err != nil {
+					t.Fatalf("threshold run: %v", err)
+				}
+
+				shadowCfg := base
+				shadowCfg.Trace = &shadowTrace
+				shadowCfg.Scheduler = core.NewTuner(sc.mk(),
+					core.WhatIf(testPlanner(whatif.Config{Observe: true})))
+				shadow, err := Run(shadowCfg, jobs)
+				if err != nil {
+					t.Fatalf("shadow run: %v", err)
+				}
+
+				if shadow.WhatIf == nil || shadow.WhatIf.Evaluated == 0 {
+					t.Fatal("shadow planner never evaluated a rollout — the no-leak claim is vacuous")
+				}
+				if shadow.WhatIf.Commits != 0 {
+					t.Fatalf("observe-mode planner committed %d decisions", shadow.WhatIf.Commits)
+				}
+				if !bytes.Equal(shadowTrace.Bytes(), refTrace.Bytes()) {
+					t.Error("shadow what-if run diverged from the threshold-only trace")
+				}
+				if scheduleHash(shadow) != scheduleHash(ref) {
+					t.Error("shadow what-if schedule differs from the threshold-only schedule")
+				}
+				if g.fair {
+					for id, w := range ref.FairStarts {
+						if g2, ok := shadow.FairStarts[id]; !ok || g2 != w {
+							t.Fatalf("job %d: shadow fair start %v, threshold %v", id, g2, w)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWhatIfHorizonShorterThanPass pins the shortest useful lookahead:
+// a horizon shorter than the periodic scheduling interval covers only
+// the fork-instant pass, so every rollout scores that single pass and
+// the run must still complete cleanly end to end.
+func TestWhatIfHorizonShorterThanPass(t *testing.T) {
+	jobs := diffTrace(t, 11, 80)
+	res, err := Run(Config{
+		Machine:        machine.NewFlat(512),
+		Scheduler:      core.NewTuner(core.WhatIf(testPlanner(whatif.Config{Horizon: units.Minute}))),
+		SchedulePeriod: 10 * units.Minute,
+		Paranoid:       true,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WhatIf == nil || res.WhatIf.Evaluated == 0 {
+		t.Fatal("planner never evaluated a rollout under the one-minute horizon")
+	}
+}
+
+// TestWhatIfHorizonSpansRetuneTick crosses the other boundary: a
+// horizon longer than the checking interval makes every fork replay at
+// least one nested checkpoint. Nested engines never retune (the policy
+// is frozen in forks, exactly as in fairness worlds), so the rollout
+// measures the candidate settings held constant — the test pins that
+// such forks run to the horizon without tripping the validity oracle.
+func TestWhatIfHorizonSpansRetuneTick(t *testing.T) {
+	jobs := diffTrace(t, 12, 80)
+	res, err := Run(Config{
+		Machine:       machine.NewFlat(512),
+		Scheduler:     core.NewTuner(core.WhatIf(testPlanner(whatif.Config{Horizon: 2 * units.Hour}))),
+		CheckInterval: 30 * units.Minute,
+		Paranoid:      true,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WhatIf == nil || res.WhatIf.Evaluated == 0 {
+		t.Fatal("planner never evaluated a rollout under the retune-spanning horizon")
+	}
+}
+
+// TestWhatIfEmptyQueueAtFork pins the empty-queue skip: checkpoints
+// that fire with nothing waiting (one long job owns the machine) must
+// count as skips — no rollouts, no commits — and the run must stay
+// valid.
+func TestWhatIfEmptyQueueAtFork(t *testing.T) {
+	one := diffTrace(t, 13, 1)
+	one[0].Nodes = 64
+	one[0].Runtime = 3 * units.Hour
+	one[0].Walltime = 4 * units.Hour
+	res, err := Run(Config{
+		Machine:   machine.NewFlat(512),
+		Scheduler: core.NewTuner(core.WhatIf(testPlanner(whatif.Config{}))),
+		Paranoid:  true,
+	}, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.WhatIf
+	if st == nil {
+		t.Fatal("Result.WhatIf is nil")
+	}
+	if st.Ticks == 0 {
+		t.Fatal("no checkpoints fired")
+	}
+	if st.Skipped != st.Ticks {
+		t.Errorf("%d of %d ticks skipped; every fork had an empty queue", st.Skipped, st.Ticks)
+	}
+	if st.Commits != 0 || st.Evaluated != 0 {
+		t.Errorf("empty-queue ticks ran rollouts: %d evaluated, %d commits", st.Evaluated, st.Commits)
+	}
+}

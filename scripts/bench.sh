@@ -1,39 +1,44 @@
 #!/bin/sh
 # Runs the scheduling benchmarks and writes a machine-readable summary
-# to BENCH_<n>.json (default BENCH_6.json) so perf changes are tracked
+# to BENCH_<n>.json (default BENCH_7.json) so perf changes are tracked
 # in-repo. The default set covers the window-search micro-benchmarks,
-# the end-to-end simulation benchmark (BenchmarkSimEndToEnd), and the
+# the end-to-end simulation benchmark (BenchmarkSimEndToEnd), the
 # full-Intrepid 50k-job scale benchmark (BenchmarkSimAtScale), which
-# sweeps the work-stealing search across worker counts.
+# sweeps the work-stealing search across worker counts, and the what-if
+# tuning family (BenchmarkSimWhatIf), which prices the
+# simulation-in-the-loop planner against the threshold-rule tuner.
 #
-# The emitted file carries three audit sections:
+# The emitted file carries four audit sections:
 #
 #   - "env": GOMAXPROCS (pinned for the run, see below), the worker-pool
 #     width the parallel search would use (one per CPU), and the CPU
 #     model, so cross-machine comparisons are honest (cmd/benchcompare
 #     warns on mismatch);
 #   - "baseline": the numbers measured by the previous PR's artifact
-#     (BENCH_4: batched fairness oracle, zero-alloc serial hot path,
-#     first worker-count sweep), so the speedup from the incremental
-#     event-mode oracle and the per-worker search arenas is auditable
-#     from the artifact alone;
+#     (BENCH_6: incremental event-mode fairness oracle, per-worker
+#     search arenas), so the cost of the new what-if subsystem is
+#     auditable from the artifact alone;
 #   - "fair_ratios": the fairness-oracle overhead family — for each
 #     engine mode, fair=on versus fair=off ns/op and their ratio,
-#     computed from this run's own SimEndToEnd rows. The ratio is the
-#     number the incremental oracle exists to shrink, so it is recorded
-#     first-class rather than left to artifact readers to derive.
+#     computed from this run's own SimEndToEnd rows;
+#   - "whatif": the lookahead-tuning cost family — per what-if variant
+#     the mean wall cost of one lookahead tick, the share of its own
+#     run spent in lookahead, and that run's total lookahead spend as a
+#     percentage of the at-scale end-to-end runtime (the acceptance bar
+#     is atscale_tick_pct <= 10 at the default horizon).
 #
 # Usage: scripts/bench.sh [output.json] [bench regex]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_6.json}
-pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale'}
+out=${1:-BENCH_7.json}
+pattern=${2:-'ScheduleIteration|PlanEarliestStart|PlanCommit|SimEndToEnd|SimAtScale|SimWhatIf'}
 raw=$(mktemp)
 body=$(mktemp)
 ratios=$(mktemp)
-trap 'rm -f "$raw" "$body" "$ratios"' EXIT
+whatif=$(mktemp)
+trap 'rm -f "$raw" "$body" "$ratios" "$whatif"' EXIT
 
 # Pin GOMAXPROCS for the whole run so the recorded value is the value
 # the benchmarks actually ran under (an inherited mid-run change or an
@@ -61,16 +66,23 @@ awk '
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     iters = $2
     ns = ""; bytes = ""; allocs = ""; jobs = ""
+    tick = ""; over = ""; commits = ""
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns = $i
-        if ($(i+1) == "B/op")      bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-        if ($(i+1) == "jobs/s")    jobs = $i
+        if ($(i+1) == "ns/op")      ns = $i
+        if ($(i+1) == "B/op")       bytes = $i
+        if ($(i+1) == "allocs/op")  allocs = $i
+        if ($(i+1) == "jobs/s")     jobs = $i
+        if ($(i+1) == "tick-ms")    tick = $i
+        if ($(i+1) == "overhead-%") over = $i
+        if ($(i+1) == "commits")    commits = $i
     }
     line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
-    if (jobs != "")   line = line sprintf(", \"jobs_per_sec\": %s", jobs)
-    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (jobs != "")    line = line sprintf(", \"jobs_per_sec\": %s", jobs)
+    if (tick != "")    line = line sprintf(", \"tick_ms\": %s", tick)
+    if (over != "")    line = line sprintf(", \"overhead_pct\": %s", over)
+    if (commits != "") line = line sprintf(", \"commits\": %d", commits)
+    if (bytes != "")   line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "")  line = line sprintf(", \"allocs_per_op\": %s", allocs)
     line = line "}"
     # -count N repeats each benchmark; keep the best (min ns/op) draw.
     if (!(name in best) || ns + 0 < bestNs[name]) {
@@ -78,7 +90,6 @@ awk '
         best[name] = line
         bestNs[name] = ns + 0
     }
-    if (name ~ /SimEndToEnd/) fairNs[name] = bestNs[name]
 }
 END {
     for (i = 1; i <= n; i++)
@@ -114,6 +125,40 @@ END {
 }
 ' "$body" >"$ratios"
 
+# Derive the what-if cost family: per what-if variant, the mean
+# lookahead-tick cost and the run's total lookahead spend
+# (ns_per_op * overhead_pct) as a share of the at-scale serial
+# end-to-end runtime — the acceptance ratio the artifact must record.
+awk -F'"' '
+/SimAtScale\/search=serial/ {
+    split($0, f, "\"ns_per_op\": ")
+    atscale = f[2] + 0
+}
+/SimWhatIf.*whatif/ {
+    name = $4
+    sub(/^BenchmarkSimWhatIf\//, "", name)
+    split($0, f, "\"ns_per_op\": ");      ns = f[2] + 0
+    split($0, f, "\"tick_ms\": ");        tick = f[2] + 0
+    split($0, f, "\"overhead_pct\": ");   over = f[2] + 0
+    split($0, f, "\"commits\": ");        commits = f[2] + 0
+    order[++n] = name
+    nsv[name] = ns; tickv[name] = tick; overv[name] = over; commitv[name] = commits
+}
+END {
+    first = 1
+    for (i = 1; i <= n; i++) {
+        m = order[i]
+        lookahead_ns = nsv[m] * overv[m] / 100
+        pct = (atscale > 0) ? lookahead_ns / atscale * 100 : 0
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"variant\": \"%s\", \"tick_ms\": %.4f, \"overhead_pct\": %.2f, \"commits\": %d, \"atscale_tick_pct\": %.3f}", \
+            m, tickv[m], overv[m], commitv[m], pct
+    }
+    if (!first) printf "\n"
+}
+' "$body" >"$whatif"
+
 {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$stamp"
@@ -125,23 +170,34 @@ END {
 	printf '  },\n'
 	cat <<'EOF'
   "baseline": {
-    "note": "BENCH_4: previous PR (batched fairness oracle, zero-alloc serial hot path, first worker sweep), same machine class, gomaxprocs=1",
+    "note": "BENCH_6: previous PR (incremental event-mode fairness oracle, per-worker search arenas), same machine class, gomaxprocs=1",
     "benchmarks": [
-      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 1123960857, "jobs_per_sec": 44486, "bytes_per_op": 37747520, "allocs_per_op": 774},
-      {"name": "BenchmarkSimAtScale/search=par", "ns_per_op": 1084352380, "jobs_per_sec": 46111, "bytes_per_op": 37747520, "allocs_per_op": 774},
-      {"name": "BenchmarkSimAtScale/search=par/workers=1", "ns_per_op": 1137142867, "jobs_per_sec": 43970, "bytes_per_op": 37747520, "allocs_per_op": 774},
-      {"name": "BenchmarkSimAtScale/search=par/workers=2", "ns_per_op": 1306023621, "jobs_per_sec": 38284, "bytes_per_op": 42894488, "allocs_per_op": 169871},
-      {"name": "BenchmarkSimAtScale/search=par/workers=4", "ns_per_op": 1324170534, "jobs_per_sec": 37760, "bytes_per_op": 44567064, "allocs_per_op": 196006},
-      {"name": "BenchmarkSimAtScale/search=par/workers=8", "ns_per_op": 1276246829, "jobs_per_sec": 39177, "bytes_per_op": 45387736, "allocs_per_op": 208841},
-      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 2123500, "jobs_per_sec": 120085, "bytes_per_op": 146946, "allocs_per_op": 313},
-      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 11208154, "jobs_per_sec": 22751, "bytes_per_op": 342964, "allocs_per_op": 1096},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 5719212, "jobs_per_sec": 44587, "bytes_per_op": 171551, "allocs_per_op": 319},
-      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 12484426, "jobs_per_sec": 20425, "bytes_per_op": 377151, "allocs_per_op": 1716}
+      {"name": "BenchmarkScheduleIteration/W=1", "ns_per_op": 10134, "bytes_per_op": 8504, "allocs_per_op": 82},
+      {"name": "BenchmarkScheduleIteration/W=2", "ns_per_op": 8907, "bytes_per_op": 8512, "allocs_per_op": 82},
+      {"name": "BenchmarkScheduleIteration/W=3", "ns_per_op": 10618, "bytes_per_op": 9088, "allocs_per_op": 94},
+      {"name": "BenchmarkScheduleIteration/W=4", "ns_per_op": 13328, "bytes_per_op": 9504, "allocs_per_op": 100},
+      {"name": "BenchmarkScheduleIteration/W=5", "ns_per_op": 22113, "bytes_per_op": 10216, "allocs_per_op": 106},
+      {"name": "BenchmarkSimEndToEnd/event/fair=off", "ns_per_op": 1813071, "jobs_per_sec": 140646, "bytes_per_op": 147009, "allocs_per_op": 313},
+      {"name": "BenchmarkSimEndToEnd/event/fair=on", "ns_per_op": 7409000, "jobs_per_sec": 34418, "bytes_per_op": 381679, "allocs_per_op": 2418},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=off", "ns_per_op": 4802842, "jobs_per_sec": 53094, "bytes_per_op": 171624, "allocs_per_op": 319},
+      {"name": "BenchmarkSimEndToEnd/periodic/fair=on", "ns_per_op": 11560906, "jobs_per_sec": 22057, "bytes_per_op": 411440, "allocs_per_op": 2487},
+      {"name": "BenchmarkSimAtScale/search=serial", "ns_per_op": 1018660630, "jobs_per_sec": 49084, "bytes_per_op": 37747584, "allocs_per_op": 774},
+      {"name": "BenchmarkSimAtScale/search=par", "ns_per_op": 958372104, "jobs_per_sec": 52172, "bytes_per_op": 37747584, "allocs_per_op": 774},
+      {"name": "BenchmarkSimAtScale/search=par/workers=1", "ns_per_op": 975306724, "jobs_per_sec": 51266, "bytes_per_op": 37747584, "allocs_per_op": 774},
+      {"name": "BenchmarkSimAtScale/search=par/workers=2", "ns_per_op": 1051088031, "jobs_per_sec": 47570, "bytes_per_op": 37774176, "allocs_per_op": 938},
+      {"name": "BenchmarkSimAtScale/search=par/workers=4", "ns_per_op": 1102395293, "jobs_per_sec": 45356, "bytes_per_op": 37774176, "allocs_per_op": 938},
+      {"name": "BenchmarkSimAtScale/search=par/workers=8", "ns_per_op": 1103732766, "jobs_per_sec": 45301, "bytes_per_op": 37774176, "allocs_per_op": 938},
+      {"name": "BenchmarkPlanEarliestStart/flat", "ns_per_op": 36.34, "bytes_per_op": 0, "allocs_per_op": 0},
+      {"name": "BenchmarkPlanEarliestStart/partition", "ns_per_op": 38.27, "bytes_per_op": 0, "allocs_per_op": 0},
+      {"name": "BenchmarkPlanCommit", "ns_per_op": 611.5, "bytes_per_op": 1040, "allocs_per_op": 5}
     ]
   },
 EOF
 	printf '  "fair_ratios": [\n'
 	cat "$ratios"
+	printf '  ],\n'
+	printf '  "whatif": [\n'
+	cat "$whatif"
 	printf '  ],\n'
 	printf '  "benchmarks": [\n'
 	cat "$body"
