@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-bench race-par vet bench-smoke load-smoke whatif-smoke fuzz fuzz-corpus verify bench bench-compare bench-fair bench-ingest profile run-daemon clean
+.PHONY: all build test race race-bench race-par vet bench-smoke load-smoke whatif-smoke tournament-smoke fuzz fuzz-corpus verify bench bench-compare bench-fair bench-ingest profile run-daemon clean
 
 all: build
 
@@ -58,6 +58,13 @@ load-smoke:
 whatif-smoke:
 	./scripts/whatif_smoke.sh
 
+# tournament-smoke plays a mini cross-trace policy league (8 policies x
+# {synthetic, SWF} traces) end to end through amjs-tournament, asserting
+# the artifact schema, per-trace rank sanity, and byte-identical output
+# at workers=1 and workers=8 (see scripts/tournament_smoke.sh).
+tournament-smoke:
+	./scripts/tournament_smoke.sh
+
 # fuzz-corpus asserts the committed seed corpora exist: a fuzz target
 # whose corpus directory vanished would silently fuzz from nothing.
 fuzz-corpus:
@@ -65,14 +72,18 @@ fuzz-corpus:
 		|| { echo "missing FuzzSWF seed corpus"; exit 1; }
 	@test -n "$$(ls internal/sim/testdata/fuzz/FuzzSchedule 2>/dev/null)" \
 		|| { echo "missing FuzzSchedule seed corpus"; exit 1; }
+	@test -n "$$(ls internal/cli/testdata/fuzz/FuzzPolicySpec 2>/dev/null)" \
+		|| { echo "missing FuzzPolicySpec seed corpus"; exit 1; }
 
 # fuzz runs each native fuzz target for FUZZTIME (default 10s) on top
-# of the committed seed corpora: the SWF parser contract and the
-# Paranoid engine with batch/stream cross-checking.
+# of the committed seed corpora: the SWF parser contract, the Paranoid
+# engine with batch/stream cross-checking, and the policy/policy-list
+# spec parsers.
 FUZZTIME ?= 10s
 fuzz: fuzz-corpus
 	$(GO) test -run '^$$' -fuzz '^FuzzSWF$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzPolicySpec$$' -fuzztime $(FUZZTIME) ./internal/cli
 
 # verify is the pre-merge gate: vet, build, the full suite (which
 # replays both fuzz seed corpora), the concurrent packages under the

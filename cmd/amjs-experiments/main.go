@@ -61,18 +61,19 @@ func main() {
 	}
 
 	runners := map[string]func(experiments.Options) error{
-		"all":       experiments.All,
-		"fig2":      experiments.Fig2,
-		"fig3":      experiments.Fig3,
-		"fig4":      experiments.Fig4,
-		"fig5":      experiments.Fig5,
-		"fig6":      experiments.Fig6,
-		"table2":    experiments.Table2,
-		"table3":    experiments.Table3,
-		"extras":    experiments.Extras,
-		"whatif":    experiments.WhatIf,
-		"multiseed": experiments.MultiSeed,
-		"scaling":   experiments.Scaling,
+		"all":        experiments.All,
+		"fig2":       experiments.Fig2,
+		"fig3":       experiments.Fig3,
+		"fig4":       experiments.Fig4,
+		"fig5":       experiments.Fig5,
+		"fig6":       experiments.Fig6,
+		"table2":     experiments.Table2,
+		"table3":     experiments.Table3,
+		"extras":     experiments.Extras,
+		"whatif":     experiments.WhatIf,
+		"tournament": experiments.Tournament,
+		"multiseed":  experiments.MultiSeed,
+		"scaling":    experiments.Scaling,
 	}
 	names := flag.Args()
 	if len(names) == 0 {
@@ -81,7 +82,7 @@ func main() {
 	for _, name := range names {
 		run, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, whatif, multiseed, scaling)\n", name)
+			fmt.Fprintf(os.Stderr, "amjs-experiments: unknown experiment %q (all, fig2, fig3, fig4, fig5, fig6, table2, table3, extras, whatif, tournament, multiseed, scaling)\n", name)
 			exit(2)
 		}
 		if err := run(opt); err != nil {

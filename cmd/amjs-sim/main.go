@@ -66,6 +66,8 @@ func run(machineSpec, workloadSpec, policySpec string, seed int64, maxJobs int, 
 	fmt.Printf("makespan:        %.1f h\n", res.Makespan.HoursF())
 	fmt.Printf("avg wait:        %.1f min\n", met.AvgWaitMinutes())
 	fmt.Printf("max wait:        %.1f min\n", met.MaxWaitMinutes())
+	fmt.Printf("avg BSLD:        %.2f\n", met.AvgBSLD())
+	fmt.Printf("max BSLD:        %.1f\n", met.MaxBSLD())
 	if fairness {
 		fmt.Printf("unfair jobs:     %d of %d\n", met.UnfairCount(), met.FairKnownCount())
 	}

@@ -132,7 +132,7 @@ func run(machineSpec, workloadSpec string, seed int64, maxJobs int, bfList, wLis
 	}
 
 	tab := results.NewTable(fmt.Sprintf("BF x W sweep on %s", wname),
-		"BF", "W", "avg wait (min)", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
+		"BF", "W", "avg wait (min)", "avg BSLD", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
 	for i, c := range grid {
 		met := all[i].Metrics
 		unfair := "-"
@@ -140,7 +140,8 @@ func run(machineSpec, workloadSpec string, seed int64, maxJobs int, bfList, wLis
 			unfair = strconv.Itoa(met.UnfairCount())
 		}
 		tab.Add(fmt.Sprintf("%.2f", c.bf), strconv.Itoa(c.w),
-			fmt.Sprintf("%.1f", met.AvgWaitMinutes()), unfair,
+			fmt.Sprintf("%.1f", met.AvgWaitMinutes()),
+			fmt.Sprintf("%.2f", met.AvgBSLD()), unfair,
 			fmt.Sprintf("%.2f", met.LoC()*100),
 			fmt.Sprintf("%.1f", met.UtilAvg()*100),
 			fmt.Sprintf("%.1f", met.MaxWaitMinutes()))

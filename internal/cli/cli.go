@@ -109,10 +109,26 @@ func ParseWorkload(spec string, seed int64, maxJobs int) ([]*job.Job, string, er
 	return jobs, cfg.Name, nil
 }
 
+// PolicySpecs enumerates every accepted policy spec shape, in the order
+// the ParsePolicy documentation lists them. Unknown-policy errors and
+// command-line usage strings are built from it so the two can never
+// drift apart.
+var PolicySpecs = []string{
+	"easy", "fcfs", "sjf", "ljf", "firstfit", "conservative", "wfp",
+	"unicef", "largest", "smallest", "dynp",
+	"fairshare[:HALFLIFE-HOURS]",
+	"relaxed:SLACK-MINUTES",
+	"utility:EXPR",
+	"metric:BF:W[:conservative]",
+	"adaptive:{bf,w,2d}[:THRESHOLD]",
+	"whatif[:OBJ[:HORIZON-H[:observe]]]",
+}
+
 // ParsePolicy builds a scheduler from a spec:
 //
 //	fcfs | sjf | ljf | firstfit        plain list policies
 //	easy | conservative | wfp | dynp   backfilling baselines
+//	unicef | largest | smallest        zoo orders with EASY backfilling
 //	fairshare[:HALFLIFE-HOURS]         decayed-usage fair share
 //	relaxed:SLACK-MINUTES              relaxed backfilling (Ward et al.)
 //	utility:EXPR                       Cobalt-style utility expression,
@@ -148,6 +164,12 @@ func ParsePolicy(spec string) (sched.Scheduler, error) {
 		return sched.NewConservative(), nil
 	case "wfp":
 		return sched.NewWFP(), nil
+	case "unicef":
+		return sched.NewUNICEF(), nil
+	case "largest":
+		return sched.NewLargest(), nil
+	case "smallest":
+		return sched.NewSmallest(), nil
 	case "dynp":
 		return sched.NewDynP(), nil
 	case "fairshare":
@@ -245,6 +267,62 @@ func ParsePolicy(spec string) (sched.Scheduler, error) {
 		}
 		return core.NewTuner(core.WhatIf(whatif.NewPlanner(cfg))), nil
 	default:
-		return nil, fmt.Errorf("cli: unknown policy %q", spec)
+		return nil, fmt.Errorf("cli: unknown policy %q (accepted: %s)",
+			spec, strings.Join(PolicySpecs, ", "))
 	}
+}
+
+// TournamentPolicies is the default cross-trace tournament zoo: every
+// fixed classic policy plus the paper's metric-aware and adaptive
+// schemes, so league tables rank the paper's contribution against the
+// field by construction. Each entry is a valid ParsePolicy spec.
+var TournamentPolicies = []string{
+	"fcfs", "sjf", "ljf", "smallest", "largest",
+	"wfp", "unicef", "fairshare", "easy", "conservative",
+	"metric:0.5:4", "adaptive:bf:1000", "adaptive:2d:1000", "whatif:blend",
+}
+
+// ParsePolicyList expands a policy-list spec into individual policy
+// specs:
+//
+//	tournament       the default tournament zoo (TournamentPolicies)
+//	SPEC,SPEC,...    comma-separated ParsePolicy specs
+//
+// Every returned spec is validated through ParsePolicy, so callers can
+// instantiate fresh schedulers per run without re-checking errors.
+// Duplicate specs are rejected: a league table keyed by policy cannot
+// hold the same contender twice.
+func ParsePolicyList(spec string) ([]string, error) {
+	var specs []string
+	if spec == "" || spec == "tournament" {
+		specs = append(specs, TournamentPolicies...)
+	} else {
+		for _, p := range strings.Split(spec, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, fmt.Errorf("cli: empty policy in list %q", spec)
+			}
+			specs = append(specs, p)
+		}
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, p := range specs {
+		if seen[p] {
+			return nil, fmt.Errorf("cli: duplicate policy %q in list %q", p, spec)
+		}
+		seen[p] = true
+		if _, err := ParsePolicy(p); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+// AdaptivePolicySpec reports whether the spec names one of the paper's
+// metric-aware/adaptive schemes (as opposed to the fixed classic zoo) —
+// the tournament highlights these rows against the field.
+func AdaptivePolicySpec(spec string) bool {
+	return strings.HasPrefix(spec, "metric:") ||
+		strings.HasPrefix(spec, "adaptive:") || spec == "whatif" ||
+		strings.HasPrefix(spec, "whatif:")
 }

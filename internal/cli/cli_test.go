@@ -141,6 +141,104 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+// TestParsePolicyRoundTrip walks every documented spec string —
+// the fixed zoo plus one concrete instantiation of each parameterized
+// family — and demands each parses, names itself, and clones cleanly.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	concrete := map[string]string{
+		"fairshare[:HALFLIFE-HOURS]":         "fairshare:12",
+		"relaxed:SLACK-MINUTES":              "relaxed:15",
+		"utility:EXPR":                       "utility:(wait/walltime)^3*nodes",
+		"metric:BF:W[:conservative]":         "metric:0.5:4:conservative",
+		"adaptive:{bf,w,2d}[:THRESHOLD]":     "adaptive:2d:500",
+		"whatif[:OBJ[:HORIZON-H[:observe]]]": "whatif:bsld:4:observe",
+	}
+	for _, doc := range PolicySpecs {
+		spec := doc
+		if c, ok := concrete[doc]; ok {
+			spec = c
+		}
+		s, err := ParsePolicy(spec)
+		if err != nil {
+			t.Errorf("documented spec %q (from %q) rejected: %v", spec, doc, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("%q: empty policy name", spec)
+		}
+		if c := s.Clone(); c == nil || c.Name() != s.Name() {
+			t.Errorf("%q: bad clone", spec)
+		}
+	}
+}
+
+func TestParsePolicyUnknownEnumeratesSpecs(t *testing.T) {
+	_, err := ParsePolicy("nonsense")
+	if err == nil {
+		t.Fatal("nonsense policy accepted")
+	}
+	for _, doc := range PolicySpecs {
+		if !strings.Contains(err.Error(), doc) {
+			t.Errorf("unknown-policy error omits %q: %v", doc, err)
+		}
+	}
+}
+
+func TestParsePolicyZoo(t *testing.T) {
+	for spec, want := range map[string]string{
+		"unicef":   "unicef",
+		"largest":  "largest",
+		"smallest": "smallest",
+	} {
+		s, err := ParsePolicy(spec)
+		if err != nil || s.Name() != want {
+			t.Errorf("%q: got %v, %v", spec, s, err)
+		}
+	}
+}
+
+func TestParsePolicyList(t *testing.T) {
+	for _, spec := range []string{"", "tournament"} {
+		specs, err := ParsePolicyList(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if len(specs) < 8 {
+			t.Fatalf("%q: only %d policies", spec, len(specs))
+		}
+		adaptive := 0
+		for _, p := range specs {
+			if AdaptivePolicySpec(p) {
+				adaptive++
+			}
+		}
+		if adaptive < 2 {
+			t.Errorf("tournament zoo has %d adaptive schemes, want >= 2", adaptive)
+		}
+	}
+	got, err := ParsePolicyList("fcfs, easy ,metric:0.5:4")
+	if err != nil || len(got) != 3 || got[0] != "fcfs" || got[1] != "easy" || got[2] != "metric:0.5:4" {
+		t.Errorf("explicit list: %v, %v", got, err)
+	}
+	for _, bad := range []string{"fcfs,,easy", "fcfs,bogus", "fcfs,fcfs", "bogus"} {
+		if _, err := ParsePolicyList(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestAdaptivePolicySpec(t *testing.T) {
+	for spec, want := range map[string]bool{
+		"metric:0.5:4": true, "adaptive:2d:1000": true, "whatif": true,
+		"whatif:blend": true, "fcfs": false, "easy": false, "": false,
+		"fairshare": false, "unicef": false,
+	} {
+		if got := AdaptivePolicySpec(spec); got != want {
+			t.Errorf("AdaptivePolicySpec(%q) = %v, want %v", spec, got, want)
+		}
+	}
+}
+
 func TestParseMachineTorus(t *testing.T) {
 	m, err := ParseMachine("torus:2x2x2x64")
 	if err != nil || m.TotalNodes() != 512 {

@@ -30,6 +30,7 @@ func runDeterministic(t *testing.T, workers int) (out, logs string, files map[st
 	}{
 		{"fig3", Fig3}, {"fig4", Fig4}, {"fig5", Fig5}, {"fig6", Fig6},
 		{"table2", Table2}, {"extras", Extras}, {"multiseed", MultiSeed},
+		{"tournament", Tournament},
 	} {
 		if err := run.fn(opt); err != nil {
 			t.Fatalf("workers=%d %s: %v", workers, run.name, err)

@@ -169,7 +169,7 @@ func All(opt Options) error {
 	}{
 		{"fig2", Fig2}, {"fig3", Fig3}, {"fig4", Fig4}, {"fig5", Fig5},
 		{"fig6", Fig6}, {"table2", Table2}, {"table3", Table3},
-		{"extras", Extras}, {"whatif", WhatIf},
+		{"extras", Extras}, {"whatif", WhatIf}, {"tournament", Tournament},
 	}
 	for _, s := range steps {
 		opt.log("=== %s ===", s.name)

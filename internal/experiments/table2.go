@@ -82,10 +82,16 @@ func table2For(opt Options, pf platform, workloadName, suffix string, jobs []*jo
 
 	tab := results.NewTable(
 		fmt.Sprintf("Table II: improvement of adaptive tuning (workload %s)", workloadName),
-		"configuration", "avg wait (min)", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
+		"configuration", "avg wait (min)", "avg BSLD", "unfair #", "LoC (%)", "util (%)", "max wait (min)")
 	for i, c := range configs {
 		m := adaptives[i].Metrics
-		tab.Addf(c.name, m.AvgWaitMinutes(), m.UnfairCount(), m.LoC()*100, m.UtilAvg()*100, m.MaxWaitMinutes())
+		tab.Add(c.name,
+			fmt.Sprintf("%.1f", m.AvgWaitMinutes()),
+			fmt.Sprintf("%.2f", m.AvgBSLD()),
+			fmt.Sprintf("%d", m.UnfairCount()),
+			fmt.Sprintf("%.1f", m.LoC()*100),
+			fmt.Sprintf("%.1f", m.UtilAvg()*100),
+			fmt.Sprintf("%.1f", m.MaxWaitMinutes()))
 		opt.log("table2[%s]: %-12s wait=%.1f unfair=%d loc=%.2f%%",
 			workloadName, c.name, m.AvgWaitMinutes(), m.UnfairCount(), m.LoC()*100)
 	}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"amjs/internal/cli"
+	"amjs/internal/job"
+	"amjs/internal/parallel"
+	"amjs/internal/results"
+	"amjs/internal/sim"
+	"amjs/internal/workload"
+)
+
+// TournamentTrace is one league workload: a named job trace bound to a
+// machine spec (cli.ParseMachine syntax). Jobs are shared read-only
+// across cells — sim.Run clones them per simulation.
+type TournamentTrace struct {
+	Name    string
+	Machine string
+	Jobs    []*job.Job
+}
+
+// TournamentConfig parameterises a cross-trace policy tournament: every
+// policy spec runs on every trace, cells are ranked per trace, and
+// standings aggregate ranks across traces.
+type TournamentConfig struct {
+	Policies []string // cli.ParsePolicy specs
+	Traces   []TournamentTrace
+	Fairness bool // enable the deferred fairness oracle per cell
+	Workers  int  // simulation pool bound (0 = one per CPU)
+}
+
+// LeagueCell is one (policy, trace) result row.
+type LeagueCell struct {
+	Trace    string  `json:"trace"`
+	Policy   string  `json:"policy"` // the spec, the league identity
+	Name     string  `json:"name"`   // the scheduler's self-reported name
+	Adaptive bool    `json:"adaptive"`
+	Rank     int     `json:"rank"` // 1 = best on this trace
+	AvgWait  float64 `json:"avg_wait_min"`
+	MaxWait  float64 `json:"max_wait_min"`
+	AvgBSLD  float64 `json:"avg_bsld"`
+	MaxBSLD  float64 `json:"max_bsld"`
+	UtilPct  float64 `json:"util_pct"`
+	LoCPct   float64 `json:"loc_pct"`
+	MeanQD   float64 `json:"mean_qd_min"`
+	Unfair   int     `json:"unfair"`
+	Started  int     `json:"started"`
+	Rejected int     `json:"rejected"`
+}
+
+// LeagueStanding is one policy's aggregate line: mean per-trace rank
+// (primary, lower is better), outright wins, and the rank vector in
+// trace order.
+type LeagueStanding struct {
+	Pos      int     `json:"pos"`
+	Policy   string  `json:"policy"`
+	Adaptive bool    `json:"adaptive"`
+	MeanRank float64 `json:"mean_rank"`
+	Wins     int     `json:"wins"`
+	Ranks    []int   `json:"ranks"`
+}
+
+// League is a completed tournament: per-trace cells in rank order plus
+// the aggregate standings. All orderings are deterministic functions of
+// the simulation results, so renderings are byte-identical at any
+// worker count.
+type League struct {
+	Fairness  bool             `json:"fairness"`
+	Traces    []string         `json:"traces"`
+	Cells     [][]LeagueCell   `json:"cells"` // [trace][rank-1]
+	Standings []LeagueStanding `json:"standings"`
+}
+
+// RunTournament plays every policy against every trace and builds the
+// league. Cells fan out across the worker pool; ranking and standings
+// are computed from the collected results in configuration order.
+//
+// Per-trace rank sorts by average bounded slowdown (the headline
+// metric), then average wait, then policy spec — a total order, so ties
+// cannot reshuffle between runs. Standings sort by mean rank, then
+// wins (descending), then policy spec.
+func RunTournament(cfg TournamentConfig) (*League, error) {
+	if len(cfg.Policies) == 0 || len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("experiments: tournament needs policies and traces")
+	}
+	seen := make(map[string]bool, len(cfg.Traces))
+	for _, tr := range cfg.Traces {
+		if tr.Name == "" || seen[tr.Name] {
+			return nil, fmt.Errorf("experiments: duplicate or empty trace name %q", tr.Name)
+		}
+		seen[tr.Name] = true
+		if len(tr.Jobs) == 0 {
+			return nil, fmt.Errorf("experiments: trace %q has no jobs", tr.Name)
+		}
+		if _, err := cli.ParseMachine(tr.Machine); err != nil {
+			return nil, fmt.Errorf("experiments: trace %q: %w", tr.Name, err)
+		}
+	}
+	for _, p := range cfg.Policies {
+		if _, err := cli.ParsePolicy(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// One flat cell grid, trace-major: index = trace*P + policy.
+	nP := len(cfg.Policies)
+	total := len(cfg.Traces) * nP
+	cells, err := parallel.Map(total, cfg.Workers, func(i int) (LeagueCell, error) {
+		tr := cfg.Traces[i/nP]
+		spec := cfg.Policies[i%nP]
+		m, err := cli.ParseMachine(tr.Machine)
+		if err != nil {
+			return LeagueCell{}, err
+		}
+		s, err := cli.ParsePolicy(spec)
+		if err != nil {
+			return LeagueCell{}, err
+		}
+		res, err := sim.Run(sim.Config{Machine: m, Scheduler: s, Fairness: cfg.Fairness}, tr.Jobs)
+		if err != nil {
+			return LeagueCell{}, fmt.Errorf("experiments: %s on %s: %w", spec, tr.Name, err)
+		}
+		mc := res.Metrics
+		return LeagueCell{
+			Trace:    tr.Name,
+			Policy:   spec,
+			Name:     res.Policy,
+			Adaptive: cli.AdaptivePolicySpec(spec),
+			AvgWait:  mc.AvgWaitMinutes(),
+			MaxWait:  mc.MaxWaitMinutes(),
+			AvgBSLD:  mc.AvgBSLD(),
+			MaxBSLD:  mc.MaxBSLD(),
+			UtilPct:  mc.UtilAvg() * 100,
+			LoCPct:   mc.LoC() * 100,
+			MeanQD:   meanQD(res),
+			Unfair:   mc.UnfairCount(),
+			Started:  mc.StartedCount(),
+			Rejected: res.RejectedCount,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	lg := &League{Fairness: cfg.Fairness}
+	rankOf := make(map[string][]int, nP) // policy -> rank per trace
+	for ti, tr := range cfg.Traces {
+		lg.Traces = append(lg.Traces, tr.Name)
+		row := make([]LeagueCell, nP)
+		copy(row, cells[ti*nP:(ti+1)*nP])
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].AvgBSLD != row[b].AvgBSLD {
+				return row[a].AvgBSLD < row[b].AvgBSLD
+			}
+			if row[a].AvgWait != row[b].AvgWait {
+				return row[a].AvgWait < row[b].AvgWait
+			}
+			return row[a].Policy < row[b].Policy
+		})
+		for i := range row {
+			row[i].Rank = i + 1
+			rankOf[row[i].Policy] = append(rankOf[row[i].Policy], i+1)
+		}
+		lg.Cells = append(lg.Cells, row)
+	}
+
+	for _, p := range cfg.Policies {
+		ranks := rankOf[p]
+		st := LeagueStanding{Policy: p, Adaptive: cli.AdaptivePolicySpec(p), Ranks: ranks}
+		for _, r := range ranks {
+			st.MeanRank += float64(r)
+			if r == 1 {
+				st.Wins++
+			}
+		}
+		st.MeanRank /= float64(len(ranks))
+		lg.Standings = append(lg.Standings, st)
+	}
+	sort.Slice(lg.Standings, func(a, b int) bool {
+		sa, sb := lg.Standings[a], lg.Standings[b]
+		if sa.MeanRank != sb.MeanRank {
+			return sa.MeanRank < sb.MeanRank
+		}
+		if sa.Wins != sb.Wins {
+			return sa.Wins > sb.Wins
+		}
+		return sa.Policy < sb.Policy
+	})
+	for i := range lg.Standings {
+		lg.Standings[i].Pos = i + 1
+	}
+	return lg, nil
+}
+
+// leaguePolicy labels a policy cell, starring the adaptive schemes.
+func leaguePolicy(spec string, adaptive bool) string {
+	if adaptive {
+		return spec + " *"
+	}
+	return spec
+}
+
+// Tables renders the league as fixed-width tables: the aggregate
+// standings first, then one table per trace in rank order.
+func (l *League) Tables() []*results.Table {
+	st := results.NewTable(
+		fmt.Sprintf("League standings (%d traces; lower mean rank is better, * = adaptive)", len(l.Traces)),
+		"pos", "policy", "mean rank", "wins", "ranks")
+	for _, s := range l.Standings {
+		parts := make([]string, len(s.Ranks))
+		for i, r := range s.Ranks {
+			parts[i] = fmt.Sprintf("%d", r)
+		}
+		st.Add(fmt.Sprintf("%d", s.Pos), leaguePolicy(s.Policy, s.Adaptive),
+			fmt.Sprintf("%.2f", s.MeanRank), fmt.Sprintf("%d", s.Wins),
+			strings.Join(parts, " "))
+	}
+	tabs := []*results.Table{st}
+	for ti, name := range l.Traces {
+		tb := results.NewTable(
+			fmt.Sprintf("Trace %s (ranked by avg BSLD)", name),
+			"rank", "policy", "avg BSLD", "max BSLD", "avg wait (min)",
+			"max wait (min)", "util (%)", "LoC (%)", "mean QD (min)", "unfair")
+		for _, c := range l.Cells[ti] {
+			unfair := "-"
+			if l.Fairness {
+				unfair = fmt.Sprintf("%d", c.Unfair)
+			}
+			tb.Add(fmt.Sprintf("%d", c.Rank), leaguePolicy(c.Policy, c.Adaptive),
+				fmt.Sprintf("%.2f", c.AvgBSLD), fmt.Sprintf("%.1f", c.MaxBSLD),
+				fmt.Sprintf("%.1f", c.AvgWait), fmt.Sprintf("%.1f", c.MaxWait),
+				fmt.Sprintf("%.1f", c.UtilPct), fmt.Sprintf("%.2f", c.LoCPct),
+				fmt.Sprintf("%.1f", c.MeanQD), unfair)
+		}
+		tabs = append(tabs, tb)
+	}
+	return tabs
+}
+
+// WriteText renders every league table to w.
+func (l *League) WriteText(w io.Writer) error {
+	for _, tb := range l.Tables() {
+		tb.Render(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the flat cell grid (trace-major, rank order) as CSV.
+func (l *League) WriteCSV(w io.Writer) error {
+	tb := results.NewTable("",
+		"trace", "rank", "policy", "name", "adaptive", "avg_bsld", "max_bsld",
+		"avg_wait_min", "max_wait_min", "util_pct", "loc_pct", "mean_qd_min",
+		"unfair", "started", "rejected")
+	for ti := range l.Traces {
+		for _, c := range l.Cells[ti] {
+			tb.Add(c.Trace, fmt.Sprintf("%d", c.Rank), c.Policy, c.Name,
+				fmt.Sprintf("%t", c.Adaptive),
+				fmt.Sprintf("%.4f", c.AvgBSLD), fmt.Sprintf("%.4f", c.MaxBSLD),
+				fmt.Sprintf("%.4f", c.AvgWait), fmt.Sprintf("%.4f", c.MaxWait),
+				fmt.Sprintf("%.4f", c.UtilPct), fmt.Sprintf("%.4f", c.LoCPct),
+				fmt.Sprintf("%.4f", c.MeanQD),
+				fmt.Sprintf("%d", c.Unfair), fmt.Sprintf("%d", c.Started),
+				fmt.Sprintf("%d", c.Rejected))
+		}
+	}
+	return tb.WriteCSV(w)
+}
+
+// WriteJSON writes the whole league as indented JSON. Field order is
+// fixed by the struct definitions, so the byte stream is deterministic
+// and golden-pinnable.
+func (l *League) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// tournamentTraces builds the driver's trace set for a scale: the
+// primary and heavy synthetic workloads on the scale machine, plus the
+// embedded sample SWF trace on the 512-node partition machine it was
+// scaled for. The SWF trace is parsed from the in-memory sample (not a
+// file) so its league name is stable for golden pinning.
+func tournamentTraces(opt Options, pf platform) ([]TournamentTrace, error) {
+	primary, heavy := pf.config, pf.heavy
+	machineSpec := "intrepid"
+	if opt.Scale == ScaleTest {
+		machineSpec = "partition:8x64"
+		// whatif and the fairness oracle both nest simulations; a
+		// tighter cap keeps the 3-trace x full-zoo grid test-suite fast.
+		primary.MaxJobs = 80
+		heavy.MaxJobs = 80
+	}
+	pj, err := primary.Generate()
+	if err != nil {
+		return nil, err
+	}
+	hj, err := heavy.Generate()
+	if err != nil {
+		return nil, err
+	}
+	sj, skipped, err := workload.ReadSWF(strings.NewReader(workload.SampleSWF),
+		workload.SWFOptions{Source: "sample.swf"})
+	if err != nil {
+		return nil, err
+	}
+	if skipped != 0 {
+		return nil, fmt.Errorf("experiments: sample SWF skipped %d jobs", skipped)
+	}
+	return []TournamentTrace{
+		{Name: primary.Name, Machine: machineSpec, Jobs: pj},
+		{Name: heavy.Name, Machine: machineSpec, Jobs: hj},
+		{Name: "sample.swf", Machine: "partition:8x64", Jobs: sj},
+	}, nil
+}
+
+// Tournament runs the cross-trace policy tournament: the full default
+// zoo (cli.TournamentPolicies) on the scale's primary and heavy
+// workloads plus the embedded sample SWF trace, with the fairness
+// oracle on, emitting the league as text, CSV, and JSON artifacts.
+func Tournament(opt Options) error {
+	pf, err := opt.platform()
+	if err != nil {
+		return err
+	}
+	traces, err := tournamentTraces(opt, pf)
+	if err != nil {
+		return err
+	}
+	lg, err := RunTournament(TournamentConfig{
+		Policies: cli.TournamentPolicies,
+		Traces:   traces,
+		Fairness: true,
+		Workers:  opt.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	for ti, name := range lg.Traces {
+		best := lg.Cells[ti][0]
+		opt.log("tournament[%s]: winner %s (avg BSLD %.2f, avg wait %.1f min)",
+			name, best.Policy, best.AvgBSLD, best.AvgWait)
+	}
+	top := lg.Standings[0]
+	opt.log("tournament: league leader %s (mean rank %.2f, %d wins)", top.Policy, top.MeanRank, top.Wins)
+	if err := lg.WriteText(opt.out()); err != nil {
+		return err
+	}
+	if err := opt.writeFile("tournament.txt", lg.WriteText); err != nil {
+		return err
+	}
+	if err := opt.writeFile("tournament.csv", lg.WriteCSV); err != nil {
+		return err
+	}
+	return opt.writeFile("tournament.json", lg.WriteJSON)
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amjs/internal/workload"
+)
+
+func tinyTournamentConfig(t *testing.T, workers int) TournamentConfig {
+	t.Helper()
+	cfgA := workload.Mini(1)
+	cfgA.MaxJobs = 25
+	ja, err := cfgA.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := workload.Mini(2)
+	cfgB.MaxJobs = 25
+	jb, err := cfgB.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TournamentConfig{
+		Policies: []string{"fcfs", "easy", "sjf", "unicef"},
+		Traces: []TournamentTrace{
+			{Name: "a", Machine: "partition:4x64", Jobs: ja},
+			{Name: "b", Machine: "flat:256", Jobs: jb},
+		},
+		Workers: workers,
+	}
+}
+
+func TestRunTournamentLeague(t *testing.T) {
+	cfg := tinyTournamentConfig(t, 2)
+	lg, err := RunTournament(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Traces) != 2 || len(lg.Cells) != 2 || len(lg.Standings) != 4 {
+		t.Fatalf("league shape: %d traces, %d cell rows, %d standings",
+			len(lg.Traces), len(lg.Cells), len(lg.Standings))
+	}
+	for ti, row := range lg.Cells {
+		if len(row) != len(cfg.Policies) {
+			t.Fatalf("trace %d: %d cells", ti, len(row))
+		}
+		for i, c := range row {
+			if c.Rank != i+1 {
+				t.Errorf("trace %d cell %d: rank %d", ti, i, c.Rank)
+			}
+			if i > 0 && row[i-1].AvgBSLD > c.AvgBSLD {
+				t.Errorf("trace %d: rank %d BSLD %.3f above rank %d BSLD %.3f",
+					ti, i, row[i-1].AvgBSLD, i+1, c.AvgBSLD)
+			}
+			if c.Started == 0 || c.Name == "" {
+				t.Errorf("trace %d cell %s: empty result (%+v)", ti, c.Policy, c)
+			}
+		}
+	}
+	// Standings: positions 1..P, mean-rank sorted, rank vectors over all
+	// traces, and the mean actually matches the vector.
+	for i, s := range lg.Standings {
+		if s.Pos != i+1 || len(s.Ranks) != len(lg.Traces) {
+			t.Errorf("standing %d: pos %d, %d ranks", i, s.Pos, len(s.Ranks))
+		}
+		sum := 0
+		for _, r := range s.Ranks {
+			sum += r
+		}
+		if got := float64(sum) / float64(len(s.Ranks)); got != s.MeanRank {
+			t.Errorf("standing %s: mean rank %v, want %v", s.Policy, s.MeanRank, got)
+		}
+		if i > 0 && lg.Standings[i-1].MeanRank > s.MeanRank {
+			t.Errorf("standings unsorted at %d", i)
+		}
+	}
+}
+
+func TestRunTournamentDeterministic(t *testing.T) {
+	var serial, par bytes.Buffer
+	lg1, err := RunTournament(tinyTournamentConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg8, err := RunTournament(tinyTournamentConfig(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg1.WriteJSON(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg8.WriteJSON(&par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		t.Error("league JSON differs between workers=1 and workers=8")
+	}
+	var text bytes.Buffer
+	if err := lg1.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "League standings") {
+		t.Errorf("text rendering missing standings:\n%s", text.String())
+	}
+}
+
+func TestRunTournamentValidation(t *testing.T) {
+	base := tinyTournamentConfig(t, 1)
+	for name, mutate := range map[string]func(*TournamentConfig){
+		"no policies":   func(c *TournamentConfig) { c.Policies = nil },
+		"no traces":     func(c *TournamentConfig) { c.Traces = nil },
+		"bad policy":    func(c *TournamentConfig) { c.Policies = append(c.Policies, "bogus") },
+		"dup trace":     func(c *TournamentConfig) { c.Traces[1].Name = c.Traces[0].Name },
+		"empty name":    func(c *TournamentConfig) { c.Traces[0].Name = "" },
+		"no jobs":       func(c *TournamentConfig) { c.Traces[0].Jobs = nil },
+		"bad machine":   func(c *TournamentConfig) { c.Traces[0].Machine = "warp:9" },
+		"empty machine": func(c *TournamentConfig) { c.Traces[0].Machine = "flat:x" },
+	} {
+		cfg := base
+		cfg.Policies = append([]string(nil), base.Policies...)
+		cfg.Traces = append([]TournamentTrace(nil), base.Traces...)
+		mutate(&cfg)
+		if _, err := RunTournament(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestTournamentDriver runs the full zoo-on-three-traces driver at test
+// scale and checks the league artifacts against the ISSUE contract:
+// >= 8 policies, >= 3 traces including an SWF one, BSLD/wait/util/
+// fairness columns, adaptive schemes flagged.
+func TestTournamentDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full tournament grid")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	opt := Options{Seed: 42, Scale: ScaleTest, OutDir: dir, Out: &out, Workers: 4}
+	if err := Tournament(opt); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "tournament.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lg League
+	if err := json.Unmarshal(raw, &lg); err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Standings) < 8 {
+		t.Errorf("league has %d policies, want >= 8", len(lg.Standings))
+	}
+	if len(lg.Traces) < 3 {
+		t.Errorf("league has %d traces, want >= 3", len(lg.Traces))
+	}
+	swf, adaptive := false, 0
+	for _, tr := range lg.Traces {
+		if strings.HasSuffix(tr, ".swf") {
+			swf = true
+		}
+	}
+	for _, s := range lg.Standings {
+		if s.Adaptive {
+			adaptive++
+		}
+	}
+	if !swf {
+		t.Errorf("no SWF trace in %v", lg.Traces)
+	}
+	if adaptive < 2 {
+		t.Errorf("%d adaptive schemes in standings, want >= 2", adaptive)
+	}
+	if !lg.Fairness {
+		t.Error("driver league must run the fairness oracle")
+	}
+	for _, want := range []string{"League standings", "avg BSLD", "util (%)", "unfair", "*"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("rendered league missing %q", want)
+		}
+	}
+	csvRaw, err := os.ReadFile(filepath.Join(dir, "tournament.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(csvRaw), "\n", 2)[0]
+	for _, col := range []string{"trace", "rank", "policy", "avg_bsld", "avg_wait_min", "util_pct", "unfair"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("CSV header missing %q: %s", col, head)
+		}
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "tournament.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txt) != out.String() {
+		t.Error("tournament.txt differs from rendered output")
+	}
+}

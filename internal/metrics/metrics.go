@@ -259,6 +259,27 @@ func (c *Collector) SlowdownSummary() stats.Summary {
 	return stats.Summarize(c.slowdowns)
 }
 
+// AvgBSLD is the mean bounded slowdown across started jobs — the
+// headline BSLD number the tournament ranks policies by. Available in
+// lean mode (it folds into the running aggregates).
+func (c *Collector) AvgBSLD() float64 {
+	if c.lean {
+		if c.started == 0 {
+			return 0
+		}
+		return c.sdSum / float64(c.started)
+	}
+	return stats.Mean(c.slowdowns)
+}
+
+// MaxBSLD is the largest bounded slowdown across started jobs.
+func (c *Collector) MaxBSLD() float64 {
+	if c.lean {
+		return c.sdPeak
+	}
+	return stats.Max(c.slowdowns)
+}
+
 // MaxWaitMinutes is the largest waiting time across started jobs.
 func (c *Collector) MaxWaitMinutes() float64 {
 	if c.lean {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"amjs/internal/job"
+	"amjs/internal/units"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
@@ -87,6 +88,41 @@ func TestWaitAndFairness(t *testing.T) {
 	sum := c.WaitSummary()
 	if sum.N != 3 {
 		t.Errorf("summary N = %d", sum.N)
+	}
+}
+
+func TestBSLDHeadline(t *testing.T) {
+	c := NewCollector(100)
+	// j1: waited 600s, ran 600s -> bsld (600+600)/600 = 2.
+	c.OnJobStart(&job.Job{ID: 1, Submit: 0, Start: 600, Runtime: 600}, 0, 0, false)
+	// j2: waited 1800s, ran 300s -> bsld (1800+300)/300 = 7.
+	c.OnJobStart(&job.Job{ID: 2, Submit: 0, Start: 1800, Runtime: 300}, 0, 0, false)
+	// j3: very short job, bounded by tau=10s: waited 90s, ran 1s ->
+	// (90+1)/10 = 9.1 rather than 91.
+	c.OnJobStart(&job.Job{ID: 3, Submit: 0, Start: 90, Runtime: 1}, 0, 0, false)
+	if got := c.AvgBSLD(); !almost(got, (2+7+9.1)/3) {
+		t.Errorf("AvgBSLD = %v, want %v", got, (2+7+9.1)/3)
+	}
+	if got := c.MaxBSLD(); !almost(got, 9.1) {
+		t.Errorf("MaxBSLD = %v, want 9.1", got)
+	}
+	if sum := c.SlowdownSummary(); sum.N != 3 || !almost(sum.Max, 9.1) {
+		t.Errorf("SlowdownSummary = %+v", sum)
+	}
+
+	// Lean mode folds the same aggregates.
+	lc := NewCollector(100)
+	lc.SetLean(24 * units.Hour)
+	lc.OnJobStart(&job.Job{ID: 1, Submit: 0, Start: 600, Runtime: 600}, 0, 0, false)
+	lc.OnJobStart(&job.Job{ID: 2, Submit: 0, Start: 1800, Runtime: 300}, 0, 0, false)
+	if got := lc.AvgBSLD(); !almost(got, 4.5) {
+		t.Errorf("lean AvgBSLD = %v, want 4.5", got)
+	}
+	if got := lc.MaxBSLD(); !almost(got, 7) {
+		t.Errorf("lean MaxBSLD = %v, want 7", got)
+	}
+	if got := NewCollector(10).AvgBSLD(); got != 0 {
+		t.Errorf("empty AvgBSLD = %v", got)
 	}
 }
 

@@ -4,6 +4,7 @@ package results
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -102,6 +103,20 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON writes the table as an indented JSON object with stable
+// key order (title, columns, rows), so the byte stream is suitable for
+// golden pinning.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, t.Rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // SeriesCSV writes one or more series as CSV with a shared time column

@@ -3,6 +3,7 @@ package results
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -54,6 +55,35 @@ func TestTableCSV(t *testing.T) {
 	}
 	if len(recs) != 3 || recs[2][0] != "y,z" {
 		t.Errorf("csv round-trip wrong: %v", recs)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("league", "policy", "rank")
+	tb.Add("easy", "1")
+	tb.Add("fcfs", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Title != "league" || len(doc.Columns) != 2 || len(doc.Rows) != 2 || doc.Rows[1][0] != "fcfs" {
+		t.Errorf("json round-trip wrong: %+v", doc)
+	}
+	// Byte-determinism: same table → same bytes.
+	var again bytes.Buffer
+	if err := tb.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteJSON not deterministic")
 	}
 }
 

@@ -53,6 +53,25 @@ func NewWFP() *Reserving {
 	return &Reserving{PolicyName: "wfp", Order: WFPOrder}
 }
 
+// NewUNICEF returns the UNICEF policy (wait / (log2(nodes+1)*walltime)
+// scoring, favoring long-waiting small short jobs) with EASY
+// backfilling.
+func NewUNICEF() *Reserving {
+	return &Reserving{PolicyName: "unicef", Order: UNICEFOrder}
+}
+
+// NewLargest returns largest-job-first (by node request) with EASY
+// backfilling.
+func NewLargest() *Reserving {
+	return &Reserving{PolicyName: "largest", Order: LargestFirst}
+}
+
+// NewSmallest returns smallest-job-first (by node request) with EASY
+// backfilling.
+func NewSmallest() *Reserving {
+	return &Reserving{PolicyName: "smallest", Order: SmallestFirst}
+}
+
 // NewEASYWith returns EASY backfilling over an arbitrary queue order.
 func NewEASYWith(name string, order Order) *Reserving {
 	return &Reserving{PolicyName: name, Order: order}

@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 
 	"amjs/internal/job"
@@ -244,6 +245,20 @@ func LargestFirst(_ units.Time, queue []*job.Job) []*job.Job {
 	})
 }
 
+// SmallestFirst orders by node request, smallest first — the packing-
+// friendly counterpart of LargestFirst from the classic zoo.
+func SmallestFirst(_ units.Time, queue []*job.Job) []*job.Job {
+	return sortBy(queue, func(a, b *job.Job) int {
+		switch {
+		case a.Nodes < b.Nodes:
+			return -1
+		case a.Nodes > b.Nodes:
+			return 1
+		}
+		return 0
+	})
+}
+
 // MaxExpansionFirst orders by expansion factor (wait+walltime)/walltime,
 // largest first — the classic compromise policy mentioned in the paper's
 // introduction.
@@ -280,4 +295,53 @@ func WFPOrder(now units.Time, queue []*job.Job) []*job.Job {
 		}
 		return 0
 	})
+}
+
+// UNICEFOrder scores jobs wait / (log2(nodes+1) * walltime), highest
+// first: long-waiting, small, short jobs rise — the interactivity-
+// favoring policy from the deep-batch-scheduler zoo, the philosophical
+// opposite of WFP's large-job bias.
+func UNICEFOrder(now units.Time, queue []*job.Job) []*job.Job {
+	score := func(j *job.Job) float64 {
+		denom := math.Log2(float64(j.Nodes)+1) * float64(j.Walltime)
+		if denom <= 0 {
+			return math.Inf(1)
+		}
+		return float64(j.WaitAt(now)) / denom
+	}
+	return sortBy(queue, func(a, b *job.Job) int {
+		av, bv := score(a), score(b)
+		switch {
+		case av > bv:
+			return -1
+		case av < bv:
+			return 1
+		}
+		return 0
+	})
+}
+
+// NamedOrder pairs a queue order with its registry name.
+type NamedOrder struct {
+	Name  string
+	Order Order
+}
+
+// Orders is the policy zoo's order registry: every queue order the
+// schedulers in this package build on, by name. The property suite
+// (order_property_test.go) walks the registry and asserts each entry is
+// a total, deterministic, permutation-invariant order with the
+// (submit, ID) tie-break — registering a new Order here is one line and
+// buys all of those checks.
+func Orders() []NamedOrder {
+	return []NamedOrder{
+		{"submit", SubmitOrder},
+		{"shortest", ShortestFirst},
+		{"longest", LongestFirst},
+		{"largest", LargestFirst},
+		{"smallest", SmallestFirst},
+		{"maxexpansion", MaxExpansionFirst},
+		{"wfp", WFPOrder},
+		{"unicef", UNICEFOrder},
+	}
 }

@@ -36,12 +36,16 @@ func TestOrders(t *testing.T) {
 		{"shortest", sched.ShortestFirst, []int{2, 3, 1}},
 		{"longest", sched.LongestFirst, []int{1, 3, 2}},
 		{"largest", sched.LargestFirst, []int{2, 3, 1}},
+		{"smallest", sched.SmallestFirst, []int{1, 3, 2}},
 		// Expansion factors at t=100: j1 (100+1000)/1000=1.1,
 		// j2 (50+100)/100=1.5, j3 (10+500)/500=1.02.
 		{"maxexpansion", sched.MaxExpansionFirst, []int{2, 1, 3}},
 		// WFP at t=100: j1 (100/1000)^3*10=0.01, j2 (50/100)^3*80=10,
 		// j3 (10/500)^3*40≈3e-4.
 		{"wfp", sched.WFPOrder, []int{2, 1, 3}},
+		// UNICEF at t=100: j1 100/(log2(11)*1000)≈0.029,
+		// j2 50/(log2(81)*100)≈0.079, j3 10/(log2(41)*500)≈0.0037.
+		{"unicef", sched.UNICEFOrder, []int{2, 1, 3}},
 	}
 	for _, c := range cases {
 		got := ids(c.order(now, queue))
@@ -224,6 +228,7 @@ func TestCloneIndependence(t *testing.T) {
 	scheds := []sched.Scheduler{
 		sched.NewFCFS(), sched.NewSJF(), sched.NewLJF(), sched.NewFirstFit(),
 		sched.NewEASY(), sched.NewConservative(), sched.NewWFP(), sched.NewDynP(),
+		sched.NewUNICEF(), sched.NewLargest(), sched.NewSmallest(),
 	}
 	for _, s := range scheds {
 		c := s.Clone()

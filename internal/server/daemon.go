@@ -481,6 +481,8 @@ type Snapshot struct {
 	QueueJobs         int
 	QueueDepthMinutes float64
 	RunningJobs       int
+	AvgBSLD           float64
+	MaxBSLD           float64
 	BF                float64
 	W                 int
 	HasTunables       bool
@@ -505,6 +507,8 @@ func (d *Daemon) Stats() Snapshot {
 		Accepted:          d.live.Accepted(),
 		Rejected:          d.live.Rejected(),
 		Cancelled:         d.live.Cancelled(),
+		AvgBSLD:           d.live.Collector().AvgBSLD(),
+		MaxBSLD:           d.live.Collector().MaxBSLD(),
 	}
 	if t := m.TotalNodes(); t > 0 {
 		s.Utilization = float64(m.UsedNodes()) / float64(t)

@@ -479,6 +479,8 @@ func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
 		{"amjsd_queue_jobs", "Number of jobs waiting in the queue.", float64(s.QueueJobs)},
 		{"amjsd_queue_depth_minutes", "Queue depth in minutes (the paper's metric).", s.QueueDepthMinutes},
 		{"amjsd_running_jobs", "Number of jobs currently executing.", float64(s.RunningJobs)},
+		{"amjsd_avg_bounded_slowdown", "Average bounded slowdown (BSLD, tau=10s) of started jobs.", s.AvgBSLD},
+		{"amjsd_max_bounded_slowdown", "Maximum bounded slowdown (BSLD, tau=10s) of started jobs.", s.MaxBSLD},
 		{"amjsd_jobs_accepted_total", "Jobs accepted since start.", float64(s.Accepted)},
 		{"amjsd_jobs_rejected_total", "Jobs rejected as never fitting the machine.", float64(s.Rejected)},
 		{"amjsd_jobs_cancelled_total", "Jobs cancelled before starting.", float64(s.Cancelled)},

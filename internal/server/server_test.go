@@ -348,6 +348,8 @@ func TestDaemonAPI(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE amjsd_utilization gauge",
 		"amjsd_queue_depth_minutes",
+		"# TYPE amjsd_avg_bounded_slowdown gauge",
+		"amjsd_max_bounded_slowdown",
 		"amjsd_jobs_accepted_total 2",
 		"amjsd_jobs_cancelled_total 1",
 		"amjsd_jobs_rejected_total 1",

@@ -111,6 +111,62 @@ func TestDifferentialThreeWay(t *testing.T) {
 	}
 }
 
+// TestDifferentialZoo extends the three-way grid across the policy zoo
+// the tournament ranks — the size-ordered, wait-weighted, and
+// fair-share orders — in event and periodic modes on all three machine
+// topologies (36 more seeded configs, 120 in total with
+// TestDifferentialThreeWay), all under the paranoid invariant oracle.
+func TestDifferentialZoo(t *testing.T) {
+	machines := []struct {
+		name string
+		mk   func() machine.Machine
+	}{
+		{"flat", func() machine.Machine { return machine.NewFlat(512) }},
+		{"partition", func() machine.Machine { return machine.NewPartition(8, 64) }},
+		{"torus", func() machine.Machine { return machine.NewTorus(2, 2, 2, 64) }},
+	}
+	policies := []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"ljf", func() sched.Scheduler { return sched.NewLJF() }},
+		{"largest", func() sched.Scheduler { return sched.NewLargest() }},
+		{"smallest", func() sched.Scheduler { return sched.NewSmallest() }},
+		{"wfp", func() sched.Scheduler { return sched.NewWFP() }},
+		{"unicef", func() sched.Scheduler { return sched.NewUNICEF() }},
+		{"fairshare", func() sched.Scheduler { return sched.NewFairShare(6 * units.Hour) }},
+	}
+	modes := []struct {
+		name   string
+		period units.Duration
+	}{
+		{"event", 0},
+		{"periodic", 10 * units.Second},
+	}
+
+	seed := int64(1000) // disjoint from TestDifferentialThreeWay's traces
+	for _, m := range machines {
+		for _, p := range policies {
+			for _, md := range modes {
+				seed++
+				s := seed
+				name := fmt.Sprintf("%s/%s/%s", m.name, p.name, md.name)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					jobs := diffTrace(t, s, 80)
+					cfg := Config{
+						Machine:        m.mk(),
+						Scheduler:      p.mk(),
+						SchedulePeriod: md.period,
+						Paranoid:       true,
+					}
+					runDifferential(t, cfg, jobs, false)
+				})
+			}
+		}
+	}
+}
+
 // runDifferential pushes one workload through all three engines under
 // one config and fails on any observable disagreement.
 func runDifferential(t *testing.T, cfg Config, jobs []*job.Job, fair bool) {

@@ -27,7 +27,10 @@ func fuzzConfig(h [5]byte) Config {
 	case 2:
 		cfg.Machine = machine.NewTorus(2, 2, 2, 64)
 	}
-	switch h[1] % 6 {
+	// Moving from %6 to %8 left every committed corpus entry's selector
+	// unchanged (no stored header byte maps differently under the two
+	// moduli), so cases 6 and 7 only extend the space.
+	switch h[1] % 8 {
 	case 0:
 		cfg.Scheduler = core.NewMetricAware(0.5, 3)
 	case 1:
@@ -40,6 +43,10 @@ func fuzzConfig(h [5]byte) Config {
 		cfg.Scheduler = sched.NewEASY()
 	case 5:
 		cfg.Scheduler = sched.NewConservative()
+	case 6:
+		cfg.Scheduler = sched.NewWFP()
+	case 7:
+		cfg.Scheduler = sched.NewUNICEF()
 	}
 	switch h[2] % 3 {
 	case 1:
@@ -108,6 +115,14 @@ func FuzzSchedule(f *testing.F) {
 	// contended burst so the planner has a queue to repack.
 	f.Add([]byte("\x00\x00\x00\x02\x00" + "\x00\xff\x20\x01" + "\x00\x7f\x10\x01" + "\x01\x3f\x30\x01" + "\x00\x1f\x04\x00"))
 	f.Add([]byte("\x01\x00\x01\x02\x01" + "\x00\xff\x30\x02" + "\x00\x7f\x08\x00" + "\x14\x3f\x40\x03" + "\x00\x0f\x02\x00"))
+	// WFP^3 and UNICEF seeds: a machine-filling marathon job (runtime
+	// byte 0xff) strands a burst of short wide jobs in the queue, so
+	// wait/walltime ratios — cubed by WFP, log-scaled by UNICEF — grow
+	// extreme and shake the score arithmetic at its numeric edges.
+	f.Add([]byte("\x00\x06\x00\x00\x00" + "\x00\xff\xff\x02" + "\x00\x0f\x00\x00" + "\x00\xff\x00\x00" + "\x00\x07\x00\x00"))
+	f.Add([]byte("\x01\x07\x01\x00\x01" + "\x00\xff\xff\x02" + "\x01\x3f\x00\x00" + "\x00\xff\xff\x00" + "\x00\x01\x00\x00"))
+	f.Add([]byte("\x02\x06\x02\x01\x02" + "\x00\x7f\xff\x01" + "\x00\x0f\x00\x00" + "\xff\xff\x00\x00"))
+	f.Add([]byte("\x00\x07\x00\x01\x00" + "\x00\xff\xff\x00" + "\x00\x1f\x00\x00" + "\x00\x1f\x00\x00" + "\xc8\x0f\x00\x00"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 5 {
